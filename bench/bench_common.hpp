@@ -1,0 +1,62 @@
+// Shared scaffolding for the figure/table bench binaries.
+//
+// Each bench reproduces one paper artifact and prints mean ± 95% CI
+// tables, ASCII bars, overhead ratios, and CSV. Repetition counts default
+// to the paper's protocol; set PINSIM_REPS to override (e.g. PINSIM_REPS=3
+// for a quick pass) — the output notes any override.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/figure.hpp"
+#include "core/report.hpp"
+#include "stats/text_table.hpp"
+
+namespace pinsim::bench {
+
+inline int repetitions_or(int paper_default) {
+  if (const char* env = std::getenv("PINSIM_REPS")) {
+    const int reps = std::atoi(env);
+    if (reps >= 1) return reps;
+  }
+  return paper_default;
+}
+
+inline core::ExperimentRunner make_runner(int paper_reps) {
+  core::ExperimentConfig config;
+  config.repetitions = repetitions_or(paper_reps);
+  if (config.repetitions != paper_reps) {
+    std::cout << "[note] PINSIM_REPS override: " << config.repetitions
+              << " repetitions (paper protocol: " << paper_reps << ")\n";
+  }
+  return core::ExperimentRunner(config);
+}
+
+/// Progress dots so long sweeps show life on the console.
+inline void progress_point(const virt::PlatformSpec& spec,
+                           const stats::Interval& interval) {
+  std::cout << "  [" << spec.instance.name << "] " << spec.label() << ": "
+            << stats::format_interval(interval) << " s\n"
+            << std::flush;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pinsim::bench

@@ -1,0 +1,71 @@
+// Figure 8: the impact of multitasking on container overhead.
+//
+// The same total transcode work on a 4xLarge container: one 30-second
+// video versus 30 one-second videos processed in parallel. Paper shape:
+// the 30-process variant imposes a higher overhead on the vanilla
+// container (more processes = more OS-scheduler and cgroups work), and
+// pinning closes most of the gap.
+#include "bench_common.hpp"
+#include "workload/ffmpeg.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+stats::Interval measure(virt::CpuMode mode, int processes, int repetitions) {
+  stats::Accumulator samples;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const std::uint64_t seed = 42 + 1000003ull * static_cast<unsigned>(rep);
+    const virt::PlatformSpec spec{virt::PlatformKind::Container, mode,
+                                  virt::instance_by_name("4xLarge")};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, seed);
+    auto platform = virt::make_platform(host, spec);
+    workload::FfmpegConfig config;
+    config.processes = processes;
+    workload::Ffmpeg ffmpeg(config);
+    samples.add(
+        ffmpeg.run(*platform, Rng(seed ^ 0x9e3779b97f4a7c15ull))
+            .metric_seconds);
+  }
+  return stats::confidence_95(samples);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pinsim;
+  bench::Stopwatch stopwatch;
+  core::print_header(std::cout, "Figure 8",
+                     "Multitasking: 1 large vs 30 small transcodes (4xLarge CN)");
+
+  const int reps = bench::repetitions_or(20);
+  stats::Figure figure(
+      "Figure 8 — FFmpeg multitasking on a 4xLarge container",
+      {"1 Large Task", "30 Small Tasks"});
+  figure.add_series("Vanilla CN");
+  figure.add_series("Pinned CN");
+  auto& vanilla = *figure.mutable_series("Vanilla CN");
+  auto& pinned = *figure.mutable_series("Pinned CN");
+  vanilla.set(0, measure(virt::CpuMode::Vanilla, 1, reps));
+  vanilla.set(1, measure(virt::CpuMode::Vanilla, 30, reps));
+  pinned.set(0, measure(virt::CpuMode::Pinned, 1, reps));
+  pinned.set(1, measure(virt::CpuMode::Pinned, 30, reps));
+
+  core::ReportOptions options;
+  options.ratios = false;  // no BM series in this figure (as in the paper)
+  core::print_figure_report(std::cout, figure, options);
+
+  const double gap_one = vanilla.at(0)->mean / pinned.at(0)->mean;
+  const double gap_thirty = vanilla.at(1)->mean / pinned.at(1)->mean;
+  std::cout << "vanilla/pinned overhead gap: 1 task " << gap_one
+            << "x, 30 tasks " << gap_thirty << "x\n"
+            << "Finding: a higher degree of multitasking increases the "
+               "vanilla container's scheduler/cgroups overhead — the gap "
+               "pinning closes grows with the process count (paper "
+               "§IV-D). (Unlike the paper's testbed, the simulated "
+               "30-file split also gains parallelism, so absolute "
+               "makespans shrink; the PSO comparison is the meaningful "
+               "signal here — see EXPERIMENTS.md.)\n";
+  std::cout << "bench wall time: " << stopwatch.seconds() << " s\n";
+  return 0;
+}

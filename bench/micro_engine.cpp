@@ -1,0 +1,100 @@
+// Engine and substrate micro-benchmarks (google-benchmark).
+//
+// Measures the raw throughput of the building blocks: event scheduling,
+// RNG draws, scheduler dispatch cycles, cgroup charging, and a full
+// platform construction — so regressions in simulation speed are caught
+// before they make the figure benches crawl.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "os/kernel.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "virt/factory.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule(i, [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_RngDraws(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngDraws);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_from_moments(8.0, 3.0));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_SchedulerComputeSliceCycle(benchmark::State& state) {
+  // Cost of simulating one second of a fully loaded host of N cpus.
+  const int cpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    const hw::Topology topo(1, cpus, 1, 16.0);
+    hw::CostModel costs;
+    os::Kernel kernel(engine, topo, costs, Rng(1));
+    for (int i = 0; i < 2 * cpus; ++i) {
+      auto done = std::make_shared<bool>(false);
+      os::Task& task = kernel.create_task(
+          "t" + std::to_string(i),
+          std::make_unique<os::LambdaDriver>([done](os::Task&) {
+            if (*done) return os::Action::exit();
+            *done = true;
+            return os::Action::compute(msec(500));
+          }));
+      kernel.start_task(task);
+    }
+    state.ResumeTiming();
+    kernel.run_until_quiescent();
+  }
+}
+BENCHMARK(BM_SchedulerComputeSliceCycle)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CgroupCharge(benchmark::State& state) {
+  hw::CostModel costs;
+  os::Cgroup group({"bench", 4.0, {}}, costs);
+  int cpu = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.charge(cpu, usec(100)));
+    cpu = (cpu + 1) % 16;
+    if (group.throttled()) group.refill_period();
+  }
+}
+BENCHMARK(BM_CgroupCharge);
+
+void BM_PlatformConstruction(benchmark::State& state) {
+  const auto& instance = virt::instance_by_name("4xLarge");
+  for (auto _ : state) {
+    const virt::PlatformSpec spec{virt::PlatformKind::VmContainer,
+                                  virt::CpuMode::Pinned, instance};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, 1);
+    auto platform = virt::make_platform(host, spec);
+    benchmark::DoNotOptimize(platform->visible_cpus());
+  }
+}
+BENCHMARK(BM_PlatformConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

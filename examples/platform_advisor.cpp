@@ -1,0 +1,66 @@
+// Platform advisor: the paper's §VI best practices as a tool.
+//
+// Usage: ./build/examples/platform_advisor [cpu|hpc|web|nosql]
+//                                          [--no-pinning] [--vm-isolation]
+//
+// Prints the ranked platform recommendation for the application class,
+// with the paper's rationale, plus the CHR-based instance sizing for the
+// 112-core reference host.
+#include <cstring>
+#include <iostream>
+
+#include "core/best_practices.hpp"
+#include "core/chr_advisor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pinsim;
+
+  core::DeploymentQuery query;
+  query.app = workload::AppClass::CpuBound;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "cpu") == 0) {
+      query.app = workload::AppClass::CpuBound;
+    } else if (std::strcmp(argv[i], "hpc") == 0) {
+      query.app = workload::AppClass::Hpc;
+    } else if (std::strcmp(argv[i], "web") == 0) {
+      query.app = workload::AppClass::IoWeb;
+    } else if (std::strcmp(argv[i], "nosql") == 0) {
+      query.app = workload::AppClass::IoNoSql;
+    } else if (std::strcmp(argv[i], "--no-pinning") == 0) {
+      query.pinning_allowed = false;
+    } else if (std::strcmp(argv[i], "--vm-isolation") == 0) {
+      query.require_vm_isolation = true;
+    } else {
+      std::cerr << "usage: platform_advisor [cpu|hpc|web|nosql] "
+                   "[--no-pinning] [--vm-isolation]\n";
+      return 1;
+    }
+  }
+
+  std::cout << "Application class: " << workload::to_string(query.app)
+            << "\npinning " << (query.pinning_allowed ? "allowed" : "forbidden")
+            << ", VM isolation "
+            << (query.require_vm_isolation ? "required" : "not required")
+            << "\n\nRecommended platforms (best first):\n";
+  int rank = 1;
+  for (const auto& rec : core::recommend(query)) {
+    std::cout << "  " << rank++ << ". " << rec.label() << " — "
+              << rec.rationale << " [practice";
+    for (int p : rec.practices) std::cout << ' ' << p;
+    std::cout << "]\n";
+  }
+
+  const hw::Topology host = hw::Topology::dell_r830();
+  const core::ChrRange range = core::paper_chr_range(query.app);
+  std::cout << "\nCHR sizing on a " << host.num_cpus() << "-core host "
+            << "(recommended " << range.low << " < CHR < " << range.high
+            << "):\n";
+  if (const auto instance = core::recommend_instance(query.app, host)) {
+    std::cout << "  smallest fitting instance: " << instance->name << " ("
+              << instance->cores << " cores, CHR "
+              << core::chr_of(*instance, host) << ")\n";
+  } else {
+    std::cout << "  no catalog instance fits the recommended CHR range\n";
+  }
+  return 0;
+}

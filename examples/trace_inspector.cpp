@@ -1,0 +1,36 @@
+// Trace inspector: the BCC-style view of *why* a platform behaves as it
+// does — attach cpudist/offcputime/sched counters to the host kernel and
+// compare a vanilla vs a pinned container under the Cassandra workload,
+// reproducing the paper's profiling methodology (§III-A).
+#include <iostream>
+
+#include "trace/tracer.hpp"
+#include "virt/factory.hpp"
+#include "workload/cassandra.hpp"
+
+int main() {
+  using namespace pinsim;
+
+  for (const auto mode : {virt::CpuMode::Vanilla, virt::CpuMode::Pinned}) {
+    const virt::PlatformSpec spec{virt::PlatformKind::Container, mode,
+                                  virt::instance_by_name("xLarge")};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, 7);
+    auto platform = virt::make_platform(host, spec);
+    trace::TraceSession trace(host.kernel());
+
+    workload::CassandraConfig config;
+    config.operations = 400;
+    config.server_threads = 50;
+    workload::Cassandra cassandra(config);
+    const auto result = cassandra.run(*platform, Rng(7));
+
+    std::cout << "==== " << spec.label()
+              << " — mean op response: " << result.metric_seconds
+              << " s ====\n"
+              << trace.report() << '\n';
+  }
+  std::cout << "Compare the migration counts and aggregation stalls: the "
+               "pinned container\navoids exactly the scheduler work the "
+               "paper blames for the vanilla overhead.\n";
+  return 0;
+}

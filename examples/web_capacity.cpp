@@ -1,0 +1,61 @@
+// Web capacity planning scenario: find the smallest instance whose mean
+// response time meets an SLA for a WordPress burst, per platform — the
+// kind of sizing decision the paper's Figure 5 and CHR analysis inform.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <optional>
+
+#include "core/experiment.hpp"
+#include "stats/text_table.hpp"
+#include "workload/wordpress.hpp"
+
+int main() {
+  using namespace pinsim;
+
+  constexpr double kSlaSeconds = 1.0;  // mean response-time target
+  core::ExperimentConfig config;
+  config.repetitions = 3;
+  const core::ExperimentRunner runner(config);
+
+  const core::WorkloadFactory burst = [] {
+    return std::make_unique<workload::WordPress>();
+  };
+
+  std::cout << "WordPress burst (1,000 requests), SLA: mean response <= "
+            << kSlaSeconds << " s\n\n";
+  stats::TextTable table(
+      {"platform", "smallest instance meeting SLA", "mean response (s)"});
+
+  const virt::PlatformSpec probes[] = {
+      {virt::PlatformKind::Container, virt::CpuMode::Pinned, {}},
+      {virt::PlatformKind::Container, virt::CpuMode::Vanilla, {}},
+      {virt::PlatformKind::VmContainer, virt::CpuMode::Vanilla, {}},
+      {virt::PlatformKind::Vm, virt::CpuMode::Vanilla, {}},
+      {virt::PlatformKind::BareMetal, virt::CpuMode::Vanilla, {}},
+  };
+  for (virt::PlatformSpec spec : probes) {
+    std::optional<std::pair<std::string, double>> found;
+    for (const auto& instance : virt::instance_catalog()) {
+      if (instance.cores < 4) continue;  // Large thrashes under the burst
+      spec.instance = instance;
+      const core::Measurement measurement = runner.measure(spec, burst);
+      if (measurement.interval().mean <= kSlaSeconds) {
+        found = {instance.name, measurement.interval().mean};
+        break;
+      }
+    }
+    std::ostringstream mean_os;
+    if (found.has_value()) {
+      mean_os << std::fixed << std::setprecision(3) << found->second;
+      table.add_row({spec.label(), found->first, mean_os.str()});
+    } else {
+      table.add_row({spec.label(), "(none in catalog)", "-"});
+    }
+  }
+  std::cout << table.render()
+            << "\nPinned containers typically reach the SLA on a smaller "
+               "(cheaper) instance\nthan any other virtualized platform — "
+               "the operational payoff of the paper's findings.\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "core/best_practices.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pinsim::core {
+
+std::string Recommendation::label() const {
+  return std::string(virt::to_string(mode)) + " " + virt::to_string(kind);
+}
+
+const std::vector<std::string>& practice_texts() {
+  static const std::vector<std::string> kTexts = {
+      "1. Avoid instantiating small vanilla containers (with one or two "
+      "cores) for any type of application.",
+      "2. For CPU intensive applications (e.g. FFmpeg), pinned containers "
+      "impose the least overhead.",
+      "3. If VMs are being utilized for CPU-bound applications, do not "
+      "bother pinning them: it neither improves performance nor decreases "
+      "cost.",
+      "4. For IO intensive applications, if a pinned container is not a "
+      "viable option, use a container within a VM (VMCN): it imposes a "
+      "lower overhead than a VM or a vanilla container.",
+      "5. To minimize container overhead, configure CPU intensive "
+      "applications with 0.07 < CHR < 0.14, IO intensive ones with "
+      "0.14 < CHR < 0.28, and ultra IO intensive ones (e.g. Cassandra) "
+      "with 0.28 < CHR < 0.57.",
+  };
+  return kTexts;
+}
+
+std::vector<Recommendation> recommend(const DeploymentQuery& query) {
+  std::vector<Recommendation> ranked;
+  const bool io_bound = query.app == workload::AppClass::IoWeb ||
+                        query.app == workload::AppClass::IoNoSql;
+
+  auto add = [&ranked](virt::PlatformKind kind, virt::CpuMode mode,
+                       std::vector<int> practices,
+                       const std::string& rationale) {
+    Recommendation rec;
+    rec.kind = kind;
+    rec.mode = mode;
+    rec.practices = std::move(practices);
+    rec.rationale = rationale;
+    ranked.push_back(std::move(rec));
+  };
+
+  if (!query.require_vm_isolation) {
+    if (query.pinning_allowed) {
+      add(virt::PlatformKind::Container, virt::CpuMode::Pinned, {2},
+          io_bound ? "pinned containers avoid cgroup scatter and keep IO "
+                     "affinity; for heavy IO they can even beat bare-metal"
+                   : "pinned containers impose the least overhead for "
+                     "CPU-bound work");
+    }
+    if (io_bound) {
+      add(virt::PlatformKind::VmContainer, virt::CpuMode::Vanilla, {4},
+          "without pinning, a container inside a VM shields IO work from "
+          "host-level cgroup scatter, beating both a plain VM and a "
+          "vanilla container");
+    }
+  } else {
+    // VM isolation required.
+    if (io_bound) {
+      add(virt::PlatformKind::VmContainer,
+          query.pinning_allowed ? virt::CpuMode::Pinned
+                                : virt::CpuMode::Vanilla,
+          {4}, "VMCN imposes a lower overhead than a plain VM for IO "
+               "intensive applications");
+    }
+    add(virt::PlatformKind::Vm, virt::CpuMode::Vanilla, {3},
+        "for CPU-bound work inside VMs, pinning does not pay: the "
+        "hypervisor's platform-type overhead dominates");
+  }
+
+  if (ranked.empty() || ranked.back().kind != virt::PlatformKind::Vm) {
+    add(virt::PlatformKind::Vm, virt::CpuMode::Vanilla, {3},
+        "fallback: an unpinned VM — pinning VMs does not improve "
+        "CPU-bound performance");
+  }
+
+  // Never recommend a small vanilla container (practice 1): append an
+  // explicit anti-recommendation note to the last entry's rationale.
+  std::ostringstream warning;
+  warning << " (avoid small vanilla containers — practice 1)";
+  ranked.back().rationale += warning.str();
+  return ranked;
+}
+
+namespace {
+
+/// Mean overhead ratio of a series across all x positions with data.
+double mean_ratio(const OverheadAnalysis& analysis,
+                  const std::string& series) {
+  const SeriesOverhead* overhead = analysis.find(series);
+  PINSIM_CHECK_MSG(overhead != nullptr, "missing series " << series);
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& ratio : overhead->ratios) {
+    if (ratio.has_value()) {
+      sum += *ratio;
+      ++n;
+    }
+  }
+  PINSIM_CHECK(n > 0);
+  return sum / n;
+}
+
+/// Ratio at the smallest measured instance.
+double small_end_ratio(const OverheadAnalysis& analysis,
+                       const std::string& series) {
+  const SeriesOverhead* overhead = analysis.find(series);
+  PINSIM_CHECK(overhead != nullptr);
+  for (const auto& ratio : overhead->ratios) {
+    if (ratio.has_value()) return *ratio;
+  }
+  PINSIM_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<PracticeCheck> verify_practices(const stats::Figure& cpu_figure,
+                                            const stats::Figure& io_figure) {
+  const OverheadAnalysis cpu = analyze_overhead(cpu_figure);
+  const OverheadAnalysis io = analyze_overhead(io_figure);
+  std::vector<PracticeCheck> checks;
+
+  {  // 1. Small vanilla containers are bad for IO (and never best).
+    PracticeCheck check;
+    check.practice = 1;
+    const double vanilla_small = small_end_ratio(io, "Vanilla CN");
+    const double pinned_small = small_end_ratio(io, "Pinned CN");
+    check.holds = vanilla_small > 1.3 && vanilla_small > 1.3 * pinned_small;
+    std::ostringstream os;
+    os << "vanilla CN at the smallest IO instance: " << vanilla_small
+       << "x BM vs pinned CN " << pinned_small << "x";
+    check.evidence = os.str();
+    checks.push_back(check);
+  }
+  {  // 2. Pinned CN minimal for CPU-bound.
+    PracticeCheck check;
+    check.practice = 2;
+    const double pinned_cn = mean_ratio(cpu, "Pinned CN");
+    bool minimal = true;
+    for (const char* other :
+         {"Vanilla CN", "Vanilla VM", "Pinned VM", "Vanilla VMCN",
+          "Pinned VMCN"}) {
+      if (mean_ratio(cpu, other) < pinned_cn - 0.02) minimal = false;
+    }
+    check.holds = minimal;
+    std::ostringstream os;
+    os << "pinned CN mean ratio " << pinned_cn
+       << "x is the lowest among virtualized platforms";
+    check.evidence = os.str();
+    checks.push_back(check);
+  }
+  {  // 3. Pinning does not rescue VMs for CPU-bound work.
+    PracticeCheck check;
+    check.practice = 3;
+    const double vanilla_vm = mean_ratio(cpu, "Vanilla VM");
+    const double pinned_vm = mean_ratio(cpu, "Pinned VM");
+    check.holds = pinned_vm > 0.9 * vanilla_vm && pinned_vm > 1.5;
+    std::ostringstream os;
+    os << "CPU-bound VM ratios: vanilla " << vanilla_vm << "x, pinned "
+       << pinned_vm << "x — pinning does not help";
+    check.evidence = os.str();
+    checks.push_back(check);
+  }
+  {  // 4. VMCN beats VM and vanilla CN for IO work.
+    PracticeCheck check;
+    check.practice = 4;
+    const double vmcn = mean_ratio(io, "Vanilla VMCN");
+    const double vm = mean_ratio(io, "Vanilla VM");
+    const double vanilla_cn = mean_ratio(io, "Vanilla CN");
+    check.holds = vmcn <= vm * 1.05 && vmcn < vanilla_cn;
+    std::ostringstream os;
+    os << "IO ratios: VMCN " << vmcn << "x vs VM " << vm
+       << "x vs vanilla CN " << vanilla_cn << "x";
+    check.evidence = os.str();
+    checks.push_back(check);
+  }
+  return checks;
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,61 @@
+// Best-practice rule engine (paper §VI).
+//
+// The paper distils its measurements into five deployment practices.
+// This module encodes them as queryable rules — a solution architect
+// describes the application (class, whether pinning is operationally
+// acceptable) and receives a ranked platform recommendation with the
+// paper's rationale — and provides a verification routine that re-derives
+// each practice from fresh simulated figure data (used by the
+// best_practices bench as an end-to-end consistency check).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/overhead.hpp"
+#include "virt/platform.hpp"
+#include "workload/profiles.hpp"
+
+namespace pinsim::core {
+
+struct DeploymentQuery {
+  workload::AppClass app = workload::AppClass::CpuBound;
+  /// Pinning complicates host management; architects may forbid it.
+  bool pinning_allowed = true;
+  /// Hard requirement for hardware-level isolation (forces VM layers).
+  bool require_vm_isolation = false;
+};
+
+struct Recommendation {
+  virt::PlatformKind kind = virt::PlatformKind::Container;
+  virt::CpuMode mode = virt::CpuMode::Pinned;
+  /// Which of the paper's best practices (1-5) justify this choice.
+  std::vector<int> practices;
+  std::string rationale;
+
+  std::string label() const;
+};
+
+/// Ranked recommendations (best first) for a deployment query.
+std::vector<Recommendation> recommend(const DeploymentQuery& query);
+
+/// The five practices, verbatim summaries (for reports and --help text).
+const std::vector<std::string>& practice_texts();
+
+/// Verification of one practice against measured data.
+struct PracticeCheck {
+  int practice = 0;
+  bool holds = false;
+  std::string evidence;
+};
+
+/// Re-derive practices 1-4 from measured figures (practice 5, the CHR
+/// table, is verified by the chr_ranges bench):
+///  1. vanilla containers with few cores are the worst choice somewhere;
+///  2. pinned CN has the lowest overhead for CPU-bound work;
+///  3. pinning a VM does not materially improve CPU-bound work;
+///  4. for IO work, VMCN beats plain VM and vanilla CN.
+std::vector<PracticeCheck> verify_practices(
+    const stats::Figure& cpu_figure, const stats::Figure& io_figure);
+
+}  // namespace pinsim::core

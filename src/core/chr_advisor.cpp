@@ -1,0 +1,57 @@
+#include "core/chr_advisor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pinsim::core {
+
+double chr_of(const virt::InstanceType& instance,
+              const hw::Topology& host) {
+  PINSIM_CHECK(host.num_cpus() > 0);
+  return static_cast<double>(instance.cores) /
+         static_cast<double>(host.num_cpus());
+}
+
+ChrRange paper_chr_range(workload::AppClass cls) {
+  switch (cls) {
+    case workload::AppClass::CpuBound:
+    case workload::AppClass::Hpc:
+      return {0.07, 0.14};
+    case workload::AppClass::IoWeb:
+      return {0.14, 0.28};
+    case workload::AppClass::IoNoSql:
+      return {0.28, 0.57};
+  }
+  PINSIM_CHECK_MSG(false, "unknown app class");
+  return {};
+}
+
+std::optional<ChrRange> derive_chr_range(const std::vector<ChrPoint>& points,
+                                         double acceptable) {
+  PINSIM_CHECK(std::is_sorted(points.begin(), points.end(),
+                              [](const ChrPoint& a, const ChrPoint& b) {
+                                return a.chr < b.chr;
+                              }));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].overhead_ratio <= acceptable) {
+      // PSO has vanished by this point; the transition happened within
+      // (previous point, this point].
+      const double low = i == 0 ? 0.0 : points[i - 1].chr;
+      return ChrRange{low, points[i].chr};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<virt::InstanceType> recommend_instance(
+    workload::AppClass cls, const hw::Topology& host) {
+  const ChrRange range = paper_chr_range(cls);
+  for (const auto& instance : virt::instance_catalog()) {
+    if (instance.cores > host.num_cpus()) break;
+    if (range.contains(chr_of(instance, host))) return instance;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pinsim::core

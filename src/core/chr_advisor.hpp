@@ -1,0 +1,59 @@
+// Container-to-Host core Ratio analysis (paper §IV-A).
+//
+// CHR = container cores / host cores. The paper's finding: the *lower*
+// the CHR, the higher the vanilla container's Platform-Size Overhead, and
+// each application class has a CHR range above which the PSO vanishes:
+//
+//   CPU intensive (FFmpeg):        0.07 < CHR < 0.14
+//   IO intensive (WordPress):      0.14 < CHR < 0.28
+//   Ultra IO intensive (Cassandra): 0.28 < CHR < 0.57
+//
+// This module provides both the paper's published ranges and a derivation
+// routine that recovers such a range from measured (CHR, overhead-ratio)
+// points — used by the chr_ranges bench to re-derive the table from fresh
+// simulation data.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "virt/instance_type.hpp"
+#include "workload/profiles.hpp"
+
+namespace pinsim::core {
+
+struct ChrRange {
+  double low = 0.0;
+  double high = 1.0;
+
+  bool contains(double chr) const { return chr > low && chr <= high; }
+};
+
+/// CHR of an instance on a host.
+double chr_of(const virt::InstanceType& instance,
+              const hw::Topology& host);
+
+/// The paper's recommended CHR range for an application class (§VI,
+/// best practice 5).
+ChrRange paper_chr_range(workload::AppClass cls);
+
+/// One measured point on the CHR curve.
+struct ChrPoint {
+  double chr = 0.0;
+  double overhead_ratio = 1.0;  // vanilla CN vs bare-metal
+};
+
+/// Derive the CHR range where PSO "starts to vanish": the span between
+/// the last point whose ratio is still above `acceptable` and the first
+/// point at/below it (points must be sorted by ascending CHR). Returns
+/// nullopt when the overhead never settles below the threshold.
+std::optional<ChrRange> derive_chr_range(const std::vector<ChrPoint>& points,
+                                         double acceptable = 1.2);
+
+/// Smallest catalog instance whose CHR on `host` falls inside the
+/// recommended range for `cls` — the advisor's sizing answer.
+std::optional<virt::InstanceType> recommend_instance(
+    workload::AppClass cls, const hw::Topology& host);
+
+}  // namespace pinsim::core

@@ -1,0 +1,35 @@
+#include "core/experiment.hpp"
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace pinsim::core {
+
+workload::RunResult ExperimentRunner::run_once(
+    const virt::PlatformSpec& spec, const WorkloadFactory& factory,
+    std::uint64_t seed) const {
+  virt::Host host(virt::host_topology_for(spec, config_.full_host),
+                  config_.costs, seed);
+  auto platform = virt::make_platform(host, spec);
+  auto workload = factory();
+  PINSIM_CHECK(workload != nullptr);
+  return workload->run(*platform, Rng(seed ^ 0x517cc1b727220a95ull));
+}
+
+Measurement ExperimentRunner::measure(const virt::PlatformSpec& spec,
+                                      const WorkloadFactory& factory) const {
+  PINSIM_CHECK(config_.repetitions >= 1);
+  Measurement measurement;
+  measurement.spec = spec;
+  for (int rep = 0; rep < config_.repetitions; ++rep) {
+    const std::uint64_t seed =
+        config_.base_seed + 1000003ull * static_cast<std::uint64_t>(rep);
+    const workload::RunResult result = run_once(spec, factory, seed);
+    measurement.samples.add(result.metric_seconds);
+    PINSIM_DEBUG(spec.label() << " " << spec.instance.name << " rep " << rep
+                              << ": " << result.metric_seconds << " s");
+  }
+  return measurement;
+}
+
+}  // namespace pinsim::core

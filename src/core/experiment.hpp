@@ -1,0 +1,60 @@
+// Experiment runner: the measurement harness behind every figure.
+//
+// Runs a workload on a platform configuration for N repetitions (fresh
+// host, fresh platform, fresh workload, per-repetition seed) and reports
+// mean + 95% confidence interval, exactly the protocol of the paper
+// (20 repetitions for FFmpeg/MPI/Cassandra, 6 for WordPress).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/series.hpp"
+#include "virt/factory.hpp"
+#include "workload/workload.hpp"
+
+namespace pinsim::core {
+
+struct ExperimentConfig {
+  int repetitions = 20;
+  std::uint64_t base_seed = 42;
+  hw::Topology full_host = hw::Topology::dell_r830();
+  hw::CostModel costs;
+};
+
+/// Builds a fresh workload instance per repetition.
+using WorkloadFactory =
+    std::function<std::unique_ptr<workload::Workload>()>;
+
+struct Measurement {
+  virt::PlatformSpec spec;
+  stats::Accumulator samples;  // metric_seconds per repetition
+
+  stats::Interval interval() const {
+    return stats::confidence_95(samples);
+  }
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config = {})
+      : config_(std::move(config)) {}
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// One platform configuration, `repetitions` independent runs.
+  Measurement measure(const virt::PlatformSpec& spec,
+                      const WorkloadFactory& factory) const;
+
+  /// One repetition (exposed for tests and custom sweeps).
+  workload::RunResult run_once(const virt::PlatformSpec& spec,
+                               const WorkloadFactory& factory,
+                               std::uint64_t seed) const;
+
+ private:
+  ExperimentConfig config_;
+};
+
+}  // namespace pinsim::core

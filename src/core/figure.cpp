@@ -1,0 +1,47 @@
+#include "core/figure.hpp"
+
+#include "util/check.hpp"
+
+namespace pinsim::core {
+
+stats::Figure build_figure(const ExperimentRunner& runner,
+                           const FigureSpec& spec,
+                           const std::function<WorkloadFactory(
+                               const virt::InstanceType&)>& factory_for) {
+  PINSIM_CHECK(!spec.instances.empty());
+  stats::Figure figure(spec.title, spec.instances);
+
+  // Create the series in legend order first.
+  const auto template_series =
+      virt::paper_series(virt::instance_by_name(spec.instances.front()));
+  for (const auto& platform_spec : template_series) {
+    figure.add_series(platform_spec.label());
+  }
+
+  for (std::size_t x = 0; x < spec.instances.size(); ++x) {
+    const virt::InstanceType& instance =
+        virt::instance_by_name(spec.instances[x]);
+    const WorkloadFactory factory = factory_for(instance);
+    for (const auto& platform_spec : virt::paper_series(instance)) {
+      if (spec.skip && spec.skip(platform_spec)) continue;
+      const Measurement measurement =
+          runner.measure(platform_spec, factory);
+      const stats::Interval interval = measurement.interval();
+      stats::Series* series = figure.mutable_series(platform_spec.label());
+      PINSIM_CHECK(series != nullptr);
+      series->set(x, interval);
+      if (spec.on_point) spec.on_point(platform_spec, interval);
+    }
+  }
+  return figure;
+}
+
+std::vector<std::string> fig3_instances() {
+  return {"Large", "xLarge", "2xLarge", "4xLarge"};
+}
+
+std::vector<std::string> fig456_instances() {
+  return {"xLarge", "2xLarge", "4xLarge", "8xLarge", "16xLarge"};
+}
+
+}  // namespace pinsim::core

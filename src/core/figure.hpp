@@ -1,0 +1,36 @@
+// Figure assembly: sweep the paper's seven platform series across
+// instance types and collect a stats::Figure ready for rendering.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/series.hpp"
+
+namespace pinsim::core {
+
+struct FigureSpec {
+  std::string title;
+  /// Instance types on the x axis (subset of the Table II catalog).
+  std::vector<std::string> instances;
+  /// Skip a (series, instance) cell — e.g. Cassandra/Large thrashes and
+  /// the paper omits it.
+  std::function<bool(const virt::PlatformSpec&)> skip;
+  /// Optional progress callback (bench binaries print dots).
+  std::function<void(const virt::PlatformSpec&, const stats::Interval&)>
+      on_point;
+};
+
+/// Run the full sweep: every paper series at every instance in the spec.
+stats::Figure build_figure(const ExperimentRunner& runner,
+                           const FigureSpec& spec,
+                           const std::function<WorkloadFactory(
+                               const virt::InstanceType&)>& factory_for);
+
+/// The instance lists the paper uses per figure.
+std::vector<std::string> fig3_instances();  // Large..4xLarge (FFmpeg <=16)
+std::vector<std::string> fig456_instances();  // xLarge..16xLarge
+
+}  // namespace pinsim::core

@@ -1,0 +1,72 @@
+#include "core/overhead.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pinsim::core {
+
+const SeriesOverhead* OverheadAnalysis::find(const std::string& name) const {
+  for (const auto& s : series) {
+    if (s.series == name) return &s;
+  }
+  return nullptr;
+}
+
+std::optional<double> overhead_ratio(const stats::Figure& figure,
+                                     const std::string& series,
+                                     std::size_t x) {
+  const stats::Series* baseline = figure.find_series(kBaselineSeries);
+  const stats::Series* target = figure.find_series(series);
+  if (baseline == nullptr || target == nullptr) return std::nullopt;
+  const auto base = baseline->at(x);
+  const auto value = target->at(x);
+  if (!base.has_value() || !value.has_value() || base->mean <= 0.0) {
+    return std::nullopt;
+  }
+  return value->mean / base->mean;
+}
+
+OverheadAnalysis analyze_overhead(const stats::Figure& figure,
+                                  double pso_threshold) {
+  PINSIM_CHECK_MSG(figure.find_series(kBaselineSeries) != nullptr,
+                   "figure has no bare-metal baseline series");
+  OverheadAnalysis analysis;
+  const std::size_t n = figure.x_labels().size();
+
+  for (const auto& series : figure.series()) {
+    if (series.name() == kBaselineSeries) continue;
+    SeriesOverhead overhead;
+    overhead.series = series.name();
+    overhead.ratios.resize(n);
+    overhead.pso.resize(n);
+    for (std::size_t x = 0; x < n; ++x) {
+      overhead.ratios[x] = overhead_ratio(figure, series.name(), x);
+    }
+    // PTO: the settled ratio at the largest instance with data.
+    std::optional<double> last;
+    std::optional<double> first;
+    for (std::size_t x = 0; x < n; ++x) {
+      if (overhead.ratios[x].has_value()) {
+        if (!first.has_value()) first = overhead.ratios[x];
+        last = overhead.ratios[x];
+      }
+    }
+    overhead.pto = last.value_or(1.0);
+    for (std::size_t x = 0; x < n; ++x) {
+      if (overhead.ratios[x].has_value()) {
+        overhead.pso[x] =
+            std::max(0.0, *overhead.ratios[x] - overhead.pto);
+      }
+    }
+    if (first.has_value() && last.has_value()) {
+      overhead.has_pso = (*first - *last) >= pso_threshold;
+      overhead.pto_dominated =
+          !overhead.has_pso && overhead.pto >= 1.1;
+    }
+    analysis.series.push_back(std::move(overhead));
+  }
+  return analysis;
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,61 @@
+// Overhead analysis (paper §IV).
+//
+// The paper defines the *overhead ratio* of a virtualized platform as its
+// mean execution time divided by bare-metal's, and distinguishes two
+// overhead families:
+//
+//  - Platform-Type Overhead (PTO): constant ratio across instance sizes,
+//    caused by the platform's abstraction layers (e.g. the VM's ~2x for
+//    CPU-bound work). Pinning cannot remove it.
+//  - Platform-Size Overhead (PSO): shrinks as the instance grows,
+//    specific to vanilla containers (cgroups accounting, scatter,
+//    throttle bursts). Pinning removes most of it.
+//
+// This module computes ratios from a measured Figure and decomposes each
+// series into the two families.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/series.hpp"
+
+namespace pinsim::core {
+
+inline constexpr const char* kBaselineSeries = "Vanilla BM";
+
+struct SeriesOverhead {
+  std::string series;
+  /// Ratio to bare-metal per x position (nullopt where a cell is absent).
+  std::vector<std::optional<double>> ratios;
+  /// Platform-Type Overhead: the ratio the series settles to at the
+  /// largest measured instance (the paper reads PTO off the big end,
+  /// where PSO has vanished).
+  double pto = 1.0;
+  /// Platform-Size Overhead per x position: ratio − PTO (>= 0 clamped).
+  std::vector<std::optional<double>> pso;
+  /// True when the ratio declines materially with size (PSO present).
+  bool has_pso = false;
+  /// True when the ratio is roughly flat and above 1 (pure PTO).
+  bool pto_dominated = false;
+};
+
+struct OverheadAnalysis {
+  std::vector<SeriesOverhead> series;
+
+  const SeriesOverhead* find(const std::string& name) const;
+};
+
+/// Compute ratios + PTO/PSO decomposition for every series of `figure`
+/// against the bare-metal baseline. `pso_threshold` is the minimum
+/// ratio decline (first→last x) that counts as PSO.
+OverheadAnalysis analyze_overhead(const stats::Figure& figure,
+                                  double pso_threshold = 0.25);
+
+/// Convenience: the ratio of one series at one x position.
+std::optional<double> overhead_ratio(const stats::Figure& figure,
+                                     const std::string& series,
+                                     std::size_t x);
+
+}  // namespace pinsim::core

@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "stats/text_table.hpp"
+
+namespace pinsim::core {
+
+void print_header(std::ostream& out, const std::string& artifact,
+                  const std::string& description) {
+  out << std::string(72, '=') << '\n'
+      << artifact << " — " << description << '\n'
+      << "(The Art of CPU-Pinning, GhatrehSamani et al., ICPP 2020 — "
+         "pinsim reproduction)\n"
+      << std::string(72, '=') << '\n';
+}
+
+void print_ratio_table(std::ostream& out, const stats::Figure& figure,
+                       int precision) {
+  const OverheadAnalysis analysis = analyze_overhead(figure);
+  std::vector<std::string> header;
+  header.push_back("overhead ratio vs BM");
+  for (const auto& label : figure.x_labels()) header.push_back(label);
+  header.push_back("class");
+  stats::TextTable table(std::move(header));
+  for (const auto& series : analysis.series) {
+    std::vector<std::string> row;
+    row.push_back(series.series);
+    for (const auto& ratio : series.ratios) {
+      if (!ratio.has_value()) {
+        row.push_back("-");
+        continue;
+      }
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(precision) << *ratio << "x";
+      row.push_back(cell.str());
+    }
+    row.push_back(series.has_pso ? "PSO"
+                                 : (series.pto_dominated ? "PTO" : "~1"));
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+}
+
+void print_figure_report(std::ostream& out, const stats::Figure& figure,
+                         const ReportOptions& options) {
+  out << figure.title() << "\nMean execution time in seconds (± 95% CI):\n"
+      << stats::figure_table(figure, options.precision).render() << '\n';
+  if (options.bars) {
+    out << stats::figure_bars(figure) << '\n';
+  }
+  if (options.ratios) {
+    print_ratio_table(out, figure, options.precision);
+    out << '\n';
+  }
+  if (options.csv) {
+    out << "CSV:\n"
+        << stats::figure_table(figure, options.precision).render_csv()
+        << '\n';
+  }
+}
+
+}  // namespace pinsim::core

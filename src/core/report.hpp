@@ -1,0 +1,36 @@
+// Report rendering shared by the bench binaries.
+//
+// Every bench prints the same structure: the figure as an aligned table
+// (mean ± 95% CI), a CSV block for machine extraction, an ASCII bar
+// rendering of the shape, and the overhead-ratio table against
+// bare-metal with the PTO/PSO classification.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/overhead.hpp"
+#include "stats/series.hpp"
+
+namespace pinsim::core {
+
+struct ReportOptions {
+  bool bars = true;
+  bool csv = true;
+  bool ratios = true;
+  int precision = 2;
+};
+
+/// Render the full report for a measured figure.
+void print_figure_report(std::ostream& out, const stats::Figure& figure,
+                         const ReportOptions& options = {});
+
+/// Render only the overhead-ratio table.
+void print_ratio_table(std::ostream& out, const stats::Figure& figure,
+                       int precision = 2);
+
+/// A standard header naming the paper artifact being reproduced.
+void print_header(std::ostream& out, const std::string& artifact,
+                  const std::string& description);
+
+}  // namespace pinsim::core

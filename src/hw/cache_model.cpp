@@ -1,0 +1,49 @@
+#include "hw/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pinsim::hw {
+
+SimDuration CacheModel::refill_per_mb(CpuDistance distance) const {
+  switch (distance) {
+    case CpuDistance::SameCpu:
+      return 0;
+    case CpuDistance::SmtSibling:
+      return costs_->refill_per_mb_smt;
+    case CpuDistance::SameSocket:
+      return costs_->refill_per_mb_socket;
+    case CpuDistance::CrossSocket:
+      return costs_->refill_per_mb_cross;
+  }
+  return 0;
+}
+
+SimDuration CacheModel::migration_penalty(CpuId from, CpuId to,
+                                          double working_set_mb,
+                                          bool io_active) const {
+  PINSIM_CHECK(working_set_mb >= 0.0);
+  CpuDistance distance = CpuDistance::SameSocket;  // compulsory first fill
+  if (from >= 0) {
+    distance = topology_->distance(from, to);
+    if (distance == CpuDistance::SameCpu) return 0;
+  }
+  // What needs refilling depends on how far the task moved: within a
+  // socket the (inclusive) LLC stays warm and only the private L1/L2/TLB
+  // state refills; across sockets the whole LLC-resident working set
+  // streams over from DRAM/the remote cache.
+  const double cache_cap = distance == CpuDistance::CrossSocket
+                               ? topology_->llc_mb_per_socket()
+                               : topology_->private_cache_mb();
+  const double hot_mb = std::min(working_set_mb, cache_cap);
+  SimDuration penalty = static_cast<SimDuration>(
+      static_cast<double>(refill_per_mb(distance)) * hot_mb);
+  if (io_active && from >= 0 && distance != CpuDistance::SmtSibling) {
+    penalty += costs_->io_channel_reestablish;
+  }
+  return penalty;
+}
+
+}  // namespace pinsim::hw

@@ -1,0 +1,38 @@
+// Cache-affinity model.
+//
+// The paper attributes much of the measured overhead to cache refills when
+// the scheduler moves a task: "a significant overhead is imposed to reload
+// L1 and L2 caches and establish new IO channels" (§IV-C). This model
+// charges a refill penalty whenever a task is dispatched on a cpu other
+// than the one it last ran on, proportional to the task's working-set size
+// and the cache distance of the move, plus an IO-channel re-establishment
+// cost for IO-active tasks.
+#pragma once
+
+#include "hw/cost_model.hpp"
+#include "hw/topology.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::hw {
+
+class CacheModel {
+ public:
+  CacheModel(const Topology& topology, const CostModel& costs)
+      : topology_(&topology), costs_(&costs) {}
+
+  /// Penalty for dispatching a task with `working_set_mb` of hot state on
+  /// `to` when it last ran on `from`. `io_active` adds the IO-channel
+  /// re-establishment cost. `from == -1` means the task never ran (first
+  /// dispatch is a compulsory fill, charged at same-socket rate).
+  SimDuration migration_penalty(CpuId from, CpuId to, double working_set_mb,
+                                bool io_active) const;
+
+  /// The refill rate for a given distance (exposed for tests/ablation).
+  SimDuration refill_per_mb(CpuDistance distance) const;
+
+ private:
+  const Topology* topology_;
+  const CostModel* costs_;
+};
+
+}  // namespace pinsim::hw

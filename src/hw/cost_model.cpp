@@ -1,0 +1,5 @@
+#include "hw/cost_model.hpp"
+
+// CostModel is a plain aggregate; this translation unit exists so the
+// module has a home for future non-inline helpers and to keep the build
+// graph uniform (one .cpp per header).

@@ -1,0 +1,98 @@
+#include "hw/cpuset.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pinsim::hw {
+
+CpuSet CpuSet::first_n(int n) { return range(0, n); }
+
+CpuSet CpuSet::range(int lo, int hi) {
+  PINSIM_CHECK(lo >= 0 && hi <= kMaxCpus && lo <= hi);
+  CpuSet set;
+  for (int cpu = lo; cpu < hi; ++cpu) {
+    set.bits_.set(static_cast<std::size_t>(cpu));
+  }
+  return set;
+}
+
+CpuSet CpuSet::of(std::initializer_list<CpuId> ids) {
+  CpuSet set;
+  for (CpuId id : ids) set.add(id);
+  return set;
+}
+
+void CpuSet::add(CpuId cpu) {
+  PINSIM_CHECK(cpu >= 0 && cpu < kMaxCpus);
+  bits_.set(static_cast<std::size_t>(cpu));
+}
+
+void CpuSet::remove(CpuId cpu) {
+  PINSIM_CHECK(cpu >= 0 && cpu < kMaxCpus);
+  bits_.reset(static_cast<std::size_t>(cpu));
+}
+
+bool CpuSet::contains(CpuId cpu) const {
+  if (cpu < 0 || cpu >= kMaxCpus) return false;
+  return bits_.test(static_cast<std::size_t>(cpu));
+}
+
+CpuSet CpuSet::operator&(const CpuSet& other) const {
+  CpuSet result;
+  result.bits_ = bits_ & other.bits_;
+  return result;
+}
+
+CpuSet CpuSet::operator|(const CpuSet& other) const {
+  CpuSet result;
+  result.bits_ = bits_ | other.bits_;
+  return result;
+}
+
+bool CpuSet::subset_of(const CpuSet& other) const {
+  return (bits_ & ~other.bits_).none();
+}
+
+CpuId CpuSet::first() const {
+  PINSIM_CHECK(!empty());
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    if (bits_.test(static_cast<std::size_t>(cpu))) return cpu;
+  }
+  return -1;  // unreachable
+}
+
+std::vector<CpuId> CpuSet::to_vector() const {
+  std::vector<CpuId> ids;
+  ids.reserve(static_cast<std::size_t>(count()));
+  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
+    if (bits_.test(static_cast<std::size_t>(cpu))) ids.push_back(cpu);
+  }
+  return ids;
+}
+
+std::string CpuSet::to_string() const {
+  std::ostringstream os;
+  bool first_group = true;
+  int cpu = 0;
+  while (cpu < kMaxCpus) {
+    if (!contains(cpu)) {
+      ++cpu;
+      continue;
+    }
+    int end = cpu;
+    while (end + 1 < kMaxCpus && contains(end + 1)) ++end;
+    if (!first_group) os << ',';
+    first_group = false;
+    if (end == cpu) {
+      os << cpu;
+    } else {
+      os << cpu << '-' << end;
+    }
+    cpu = end + 1;
+  }
+  if (first_group) os << "(empty)";
+  return os.str();
+}
+
+}  // namespace pinsim::hw

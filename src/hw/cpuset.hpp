@@ -1,0 +1,59 @@
+// Set of logical CPUs.
+//
+// Thin wrapper over std::bitset sized for the largest host we model
+// (the paper's Dell R830 exposes 112 logical CPUs; 256 leaves headroom).
+// Used for task affinity masks, cgroup cpusets, and pinning plans.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinsim::hw {
+
+using CpuId = int;
+
+class CpuSet {
+ public:
+  static constexpr int kMaxCpus = 256;
+
+  CpuSet() = default;
+
+  /// The set {0, 1, ..., n-1}.
+  static CpuSet first_n(int n);
+
+  /// The contiguous range [lo, hi).
+  static CpuSet range(int lo, int hi);
+
+  /// A set from explicit ids.
+  static CpuSet of(std::initializer_list<CpuId> ids);
+
+  void add(CpuId cpu);
+  void remove(CpuId cpu);
+  bool contains(CpuId cpu) const;
+
+  int count() const { return static_cast<int>(bits_.count()); }
+  bool empty() const { return bits_.none(); }
+
+  CpuSet operator&(const CpuSet& other) const;
+  CpuSet operator|(const CpuSet& other) const;
+  bool operator==(const CpuSet& other) const { return bits_ == other.bits_; }
+
+  /// True when every cpu in this set is also in `other`.
+  bool subset_of(const CpuSet& other) const;
+
+  /// Lowest cpu id in the set; requires non-empty.
+  CpuId first() const;
+
+  /// Materialize as a sorted vector of ids.
+  std::vector<CpuId> to_vector() const;
+
+  /// Human-readable "0-3,8,10" style rendering.
+  std::string to_string() const;
+
+ private:
+  std::bitset<kMaxCpus> bits_;
+};
+
+}  // namespace pinsim::hw

@@ -1,0 +1,103 @@
+#include "hw/disk.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pinsim::hw {
+
+const char* to_string(IoKind kind) {
+  switch (kind) {
+    case IoKind::Read:
+      return "read";
+    case IoKind::Write:
+      return "write";
+    case IoKind::NetRecv:
+      return "net-recv";
+    case IoKind::NetSend:
+      return "net-send";
+  }
+  return "unknown";
+}
+
+IoDevice::IoDevice(sim::Engine& engine, std::string name, Config config,
+                   Rng rng)
+    : engine_(&engine),
+      name_(std::move(name)),
+      config_(config),
+      rng_(rng) {
+  PINSIM_CHECK(config.channels >= 1);
+  PINSIM_CHECK(config.read_mean > 0 && config.write_mean > 0);
+}
+
+IoDevice IoDevice::raid1_hdd(sim::Engine& engine, Rng rng) {
+  Config config;
+  config.channels = 2;
+  config.read_mean = msec(6);
+  config.read_stddev = msec(3);
+  config.write_mean = msec(8);
+  config.write_stddev = msec(4);
+  config.per_kb = usec(8);
+  return IoDevice(engine, "raid1-hdd", config, rng);
+}
+
+IoDevice IoDevice::gigabit_nic(sim::Engine& engine, Rng rng) {
+  Config config;
+  config.channels = 64;
+  config.read_mean = usec(250);
+  config.read_stddev = usec(120);
+  config.write_mean = usec(250);
+  config.write_stddev = usec(120);
+  config.per_kb = usec(8);
+  return IoDevice(engine, "gigabit-nic", config, rng);
+}
+
+SimDuration IoDevice::sample_service(const IoRequest& request) {
+  const bool write_like =
+      request.kind == IoKind::Write || request.kind == IoKind::NetSend;
+  const double mean = static_cast<double>(write_like ? config_.write_mean
+                                                     : config_.read_mean);
+  const double stddev = static_cast<double>(
+      write_like ? config_.write_stddev : config_.read_stddev);
+  const double base = rng_.lognormal_from_moments(mean, stddev);
+  const double transfer =
+      request.size_kb * static_cast<double>(config_.per_kb);
+  return static_cast<SimDuration>(base + transfer);
+}
+
+void IoDevice::submit(const IoRequest& request,
+                      std::function<void()> on_complete,
+                      SimDuration extra_latency) {
+  PINSIM_CHECK(extra_latency >= 0);
+  Pending pending{request, std::move(on_complete), extra_latency,
+                  engine_->now()};
+  if (busy_ < config_.channels) {
+    start(std::move(pending));
+  } else {
+    backlog_.push_back(std::move(pending));
+  }
+}
+
+void IoDevice::start(Pending pending) {
+  ++busy_;
+  const SimDuration service =
+      sample_service(pending.request) + pending.extra_latency;
+  // Move `pending` into the completion event.
+  engine_->schedule(service, [this, p = std::move(pending)]() mutable {
+    finish(p);
+    --busy_;
+    if (!backlog_.empty()) {
+      Pending next = std::move(backlog_.front());
+      backlog_.pop_front();
+      start(std::move(next));
+    }
+  });
+}
+
+void IoDevice::finish(const Pending& pending) {
+  ++completed_;
+  latency_.add(to_seconds(engine_->now() - pending.submitted));
+  if (pending.on_complete) pending.on_complete();
+}
+
+}  // namespace pinsim::hw

@@ -1,0 +1,112 @@
+#include "os/cgroup.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pinsim::os {
+
+Cgroup::Cgroup(Config config, const hw::CostModel& costs)
+    : config_(std::move(config)), costs_(&costs) {
+  PINSIM_CHECK(config_.cpu_limit >= 0.0);
+  if (has_quota()) {
+    period_quota_ = static_cast<SimDuration>(
+        config_.cpu_limit * static_cast<double>(costs_->cfs_period));
+    runtime_left_ = period_quota_;
+  }
+}
+
+SimDuration Cgroup::charge(hw::CpuId cpu, SimDuration amount) {
+  PINSIM_CHECK(amount >= 0);
+  if (amount == 0) return 0;
+  stats_.usage += amount;
+  spread_.add(cpu);
+
+  if (!has_quota()) return 0;
+
+  SimDuration overhead = 0;
+  SimDuration remaining = amount;
+  SimDuration& local = local_slice_[cpu];
+  while (remaining > 0) {
+    if (local >= remaining) {
+      local -= remaining;
+      remaining = 0;
+      break;
+    }
+    remaining -= local;
+    local = 0;
+    if (runtime_left_ <= 0) {
+      // Pool dry: the overrun (at most one charge granule) is absorbed,
+      // mirroring the kernel, and the group throttles.
+      if (!throttled_) {
+        throttled_ = true;
+        ++stats_.throttles;
+      }
+      break;
+    }
+    // Transfer one slice from the global pool — a kernel-space
+    // accounting invocation.
+    const SimDuration slice =
+        std::min(costs_->cfs_bandwidth_slice, runtime_left_);
+    runtime_left_ -= slice;
+    local += slice;
+    overhead += costs_->cgroup_account;
+    ++stats_.slice_refills;
+  }
+  stats_.accounting_overhead += overhead;
+  return overhead;
+}
+
+SimDuration Cgroup::local_runtime(hw::CpuId cpu) const {
+  const auto it = local_slice_.find(cpu);
+  return it == local_slice_.end() ? 0 : it->second;
+}
+
+SimDuration Cgroup::runtime_horizon(hw::CpuId cpu) const {
+  PINSIM_CHECK(has_quota());
+  return local_runtime(cpu) + runtime_left_;
+}
+
+bool Cgroup::refill_period() {
+  if (!has_quota()) return false;
+  runtime_left_ = period_quota_;
+  local_slice_.clear();
+  const bool released = throttled_;
+  throttled_ = false;
+  return released;
+}
+
+SimDuration Cgroup::aggregate() {
+  const int spread = spread_.count();
+  ++stats_.aggregations;
+  stats_.spread_samples += spread;
+  stats_.max_spread = std::max(stats_.max_spread, spread);
+  spread_ = hw::CpuSet();
+  if (spread == 0) return 0;
+  SimDuration cost =
+      costs_->cgroup_aggregate_base +
+      static_cast<SimDuration>(spread) * costs_->cgroup_aggregate_per_core;
+  // The walk cannot take longer than its own scheduling interval — a
+  // longer pass would simply delay the next one, so the steady-state
+  // stall is bounded by (most of) one interval.
+  cost = std::min(cost, costs_->cgroup_aggregate_interval * 4 / 5);
+  stats_.accounting_overhead += cost;
+  return cost;
+}
+
+void Cgroup::add_member(Task& task) {
+  PINSIM_CHECK(task.cgroup == nullptr || task.cgroup == this);
+  task.cgroup = this;
+  if (std::find(members_.begin(), members_.end(), &task) == members_.end()) {
+    members_.push_back(&task);
+  }
+}
+
+void Cgroup::remove_member(Task& task) {
+  PINSIM_CHECK(task.cgroup == this);
+  task.cgroup = nullptr;
+  members_.erase(std::remove(members_.begin(), members_.end(), &task),
+                 members_.end());
+}
+
+}  // namespace pinsim::os

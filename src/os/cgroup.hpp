@@ -1,0 +1,130 @@
+// Control-group CPU controller model (cgroups v1 `cpu` + `cpuset`).
+//
+// Implements the three mechanisms the paper identifies (§II-C, §IV-B):
+//
+//  1. *Bandwidth control*: a group holds `cpu_limit × period` of runtime
+//     per enforcement period. Runtime is handed out to cpus in slices
+//     (kernel: sched_cfs_bandwidth_slice_us); each slice transfer is a
+//     kernel-space accounting invocation and costs overhead. When the
+//     pool runs dry the whole group is throttled until the next refill.
+//
+//  2. *Usage tracking*: the controller records which cpus the group has
+//     recently consumed time on (its "spread"). Periodically it must
+//     atomically aggregate usage across all of those cpus; the group is
+//     suspended while this runs and the cost grows with the spread. A
+//     small vanilla container smeared across 112 host cores pays ~50×
+//     the aggregation of the same container pinned to 2 — the paper's
+//     Platform-Size Overhead.
+//
+//  3. *cpuset*: an optional cpu mask (CPU pinning) restricting where
+//     member tasks may run.
+//
+// The class is clock-agnostic (the caller passes no timestamps; periods
+// and aggregation are driven by whichever kernel owns the group), so the
+// same implementation serves host containers and guest-side containers
+// inside a VM (the VMCN platform).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/cpuset.hpp"
+#include "os/task.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::os {
+
+class Cgroup {
+ public:
+  struct Config {
+    std::string name = "cgroup";
+    /// Quota in units of whole cpus per period (Docker `--cpus`).
+    /// 0 means unlimited (no bandwidth control).
+    double cpu_limit = 0.0;
+    /// Allowed cpus; empty = unrestricted.
+    hw::CpuSet cpuset;
+  };
+
+  struct Stats {
+    SimDuration usage = 0;             // total cpu time charged
+    SimDuration accounting_overhead = 0;  // slice-refill + aggregation cost
+    std::int64_t slice_refills = 0;
+    std::int64_t throttles = 0;
+    std::int64_t aggregations = 0;
+    std::int64_t spread_samples = 0;   // sum of spreads over aggregations
+    int max_spread = 0;                // widest single aggregation window
+  };
+
+  Cgroup(Config config, const hw::CostModel& costs);
+
+  const std::string& name() const { return config_.name; }
+  const Config& config() const { return config_; }
+  bool has_quota() const { return config_.cpu_limit > 0.0; }
+  const hw::CpuSet& cpuset() const { return config_.cpuset; }
+
+  bool throttled() const { return throttled_; }
+
+  /// Per-cpu throttle check (CFS throttles runqueues, not the world):
+  /// a cpu may keep running group tasks while it still holds local
+  /// slice runtime, even after the global pool has drained.
+  bool throttled_on(hw::CpuId cpu) const {
+    return throttled_ && local_runtime(cpu) == 0;
+  }
+
+  /// Charge `amount` of cpu time consumed on `cpu`. Returns the
+  /// accounting overhead (slice-refill cost) the charging task must pay
+  /// as debt. Sets the throttled flag when the quota pool is exhausted.
+  SimDuration charge(hw::CpuId cpu, SimDuration amount);
+
+  /// Period boundary: refill the quota pool and reset per-cpu slices.
+  /// Returns true when the group was throttled and is now released.
+  bool refill_period();
+
+  /// Atomic usage aggregation: returns the suspension cost for the
+  /// current spread and resets the spread window.
+  SimDuration aggregate();
+
+  /// Number of distinct cpus with usage since the last aggregation.
+  int current_spread() const { return spread_.count(); }
+
+  /// Remaining global runtime in this period (meaningful with quota).
+  SimDuration runtime_left() const { return runtime_left_; }
+
+  /// Runtime cached locally on `cpu` (slice already transferred).
+  SimDuration local_runtime(hw::CpuId cpu) const;
+
+  /// How much the group may still consume on `cpu` before throttling:
+  /// local slice + global pool. The kernel uses this to program the next
+  /// accounting boundary so quota is enforced exactly.
+  SimDuration runtime_horizon(hw::CpuId cpu) const;
+
+  // --- membership (maintained by the owning kernel) -----------------------
+  void add_member(Task& task);
+  void remove_member(Task& task);
+  const std::vector<Task*>& members() const { return members_; }
+
+  /// Tasks parked by bandwidth throttling, to be re-enqueued on refill.
+  std::vector<Task*>& parked() { return parked_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  const hw::CostModel* costs_;
+
+  SimDuration period_quota_ = 0;   // cpu_limit × cfs_period
+  SimDuration runtime_left_ = 0;   // global pool for the current period
+  std::map<hw::CpuId, SimDuration> local_slice_;  // per-cpu cached runtime
+  bool throttled_ = false;
+
+  hw::CpuSet spread_;
+
+  std::vector<Task*> members_;
+  std::vector<Task*> parked_;
+  Stats stats_;
+};
+
+}  // namespace pinsim::os

@@ -1,0 +1,457 @@
+// Core scheduling: dispatch, charging, slice boundaries, action protocol.
+#include "os/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace pinsim::os {
+
+Kernel::Kernel(sim::Engine& engine, const hw::Topology& topology,
+               const hw::CostModel& costs, Rng rng, SchedParams params,
+               std::string name)
+    : engine_(&engine),
+      topology_(&topology),
+      costs_(&costs),
+      cache_model_(topology, costs),
+      rng_(rng),
+      params_(params),
+      name_(std::move(name)),
+      cores_(static_cast<std::size_t>(topology.num_cpus())) {
+  PINSIM_CHECK(params_.sched_latency > 0);
+  PINSIM_CHECK(params_.min_granularity > 0);
+}
+
+Kernel::~Kernel() = default;
+
+Cgroup& Kernel::create_cgroup(Cgroup::Config config) {
+  if (!config.cpuset.empty()) {
+    PINSIM_CHECK_MSG(config.cpuset.subset_of(topology_->all_cpus()),
+                     "cgroup cpuset outside host topology");
+  }
+  cgroups_.push_back(std::make_unique<Cgroup>(std::move(config), *costs_));
+  return *cgroups_.back();
+}
+
+Task& Kernel::create_task(std::string name,
+                          std::unique_ptr<TaskDriver> driver,
+                          TaskConfig config) {
+  const Task::Id id = static_cast<Task::Id>(tasks_.size());
+  tasks_.push_back(
+      std::make_unique<Task>(id, std::move(name), std::move(driver)));
+  Task& task = *tasks_.back();
+  task.affinity = config.affinity;
+  if (!task.affinity.empty()) {
+    PINSIM_CHECK_MSG(!(task.affinity & topology_->all_cpus()).empty(),
+                     "task affinity disjoint from host cpus");
+  }
+  task.weight = config.weight;
+  task.working_set_mb = config.working_set_mb;
+  task.compute_inflation = config.compute_inflation;
+  task.numa_home = config.numa_home;
+  task.device_local_start = config.device_local_start;
+  if (config.cgroup != nullptr) {
+    config.cgroup->add_member(task);
+  }
+  on_exit_.push_back(std::move(config.on_exit));
+  return task;
+}
+
+void Kernel::start_task(Task& task) {
+  PINSIM_CHECK_MSG(task.state == TaskState::Created,
+                   "task " << task.name() << " started twice");
+  ++live_tasks_;
+  task.stats.started_at = now();
+  task.overhead_debt += costs_->sched_pick;  // fork/exec placement work
+  hw::CpuId hint = -1;
+  if (task.device_local_start) {
+    // The request was accepted in the device's softirq context; the new
+    // process starts near that cpu.
+    hint = irq_target(task);
+  }
+  const hw::CpuId cpu = place_task(task, hint);
+  task.vruntime = cores_[static_cast<std::size_t>(cpu)].rq.min_vruntime();
+  ensure_housekeeping();
+  enqueue_task(task, cpu);
+}
+
+bool Kernel::idle_cpu(hw::CpuId cpu) const {
+  const auto& core = cores_[static_cast<std::size_t>(cpu)];
+  return core.current == nullptr && core.rq.empty();
+}
+
+void Kernel::add_observer(SchedObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+bool Kernel::run_until_quiescent(SimTime horizon) {
+  return engine_->run_until([this] { return live_tasks_ == 0; }, horizon);
+}
+
+SimDuration Kernel::slice_for(const CoreState& core) const {
+  const int runnable = core.rq.size() + (core.current != nullptr ? 1 : 0);
+  const SimDuration share =
+      params_.sched_latency / std::max(1, runnable);
+  return std::max(params_.min_granularity, share);
+}
+
+SimDuration Kernel::remaining_cost(const Task& task) const {
+  return task.overhead_debt + task.burst_remaining;
+}
+
+double Kernel::numa_slowdown(const Task& task, hw::CpuId cpu) const {
+  if (task.numa_home == nullptr || *task.numa_home < 0) return 1.0;
+  return topology_->socket_of(cpu) == *task.numa_home
+             ? 1.0
+             : 1.0 + costs_->numa_remote_tax;
+}
+
+SimDuration Kernel::remaining_cost_on(const Task& task,
+                                      hw::CpuId cpu) const {
+  const double slow = numa_slowdown(task, cpu);
+  return task.overhead_debt +
+         static_cast<SimDuration>(
+             std::llround(static_cast<double>(task.burst_remaining) * slow));
+}
+
+hw::CpuId Kernel::cpu_of_running(const Task& task) const {
+  if (task.state != TaskState::Running) return -1;
+  const hw::CpuId cpu = task.last_cpu;
+  PINSIM_CHECK(cpu >= 0);
+  PINSIM_CHECK(cores_[static_cast<std::size_t>(cpu)].current == &task);
+  return cpu;
+}
+
+void Kernel::dispatch(hw::CpuId cpu) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  PINSIM_CHECK(core.current == nullptr);
+  if (core.rq.empty()) {
+    steal_for(cpu);
+  }
+  // Park throttled-group tasks encountered at dispatch (lazy parking).
+  Task* next = nullptr;
+  while (!core.rq.empty()) {
+    Task& candidate = core.rq.pop_min();
+    candidate.queued_cpu = -1;
+    if (candidate.cgroup != nullptr && candidate.cgroup->throttled_on(cpu)) {
+      candidate.state = TaskState::Throttled;
+      candidate.cgroup->parked().push_back(&candidate);
+      continue;
+    }
+    next = &candidate;
+    break;
+  }
+  if (next == nullptr) {
+    core.boundary.cancel();
+    return;  // idle
+  }
+
+  Task& task = *next;
+  ++stats_.context_switches;
+  ++task.stats.context_switches;
+  notify([&](SchedObserver& o) { o.on_context_switch(cpu); });
+  task.overhead_debt += costs_->context_switch;
+  // Usage tracking for grouped tasks runs at every scheduling event
+  // (paper §IV-B: each cgroups invocation is a kernel-space transition).
+  if (task.cgroup != nullptr) task.overhead_debt += costs_->cgroup_account;
+
+  if (task.last_cpu != cpu) {
+    const SimDuration penalty = cache_model_.migration_penalty(
+        task.last_cpu, cpu, task.working_set_mb, task.io_active);
+    if (task.last_cpu >= 0) {
+      ++stats_.migrations;
+      ++task.stats.migrations;
+      if (topology_->distance(task.last_cpu, cpu) ==
+          hw::CpuDistance::CrossSocket) {
+        ++stats_.cross_socket_migrations;
+      }
+      notify([&](SchedObserver& o) {
+        o.on_migration(task, task.last_cpu, cpu, penalty);
+      });
+    }
+    task.overhead_debt += penalty;
+    stats_.migration_penalty_total += penalty;
+  }
+
+  task.stats.wait_time += now() - task.enqueued_at;
+  task.last_cpu = cpu;
+  // First-touch NUMA: the process's memory home is the socket where its
+  // first thread runs.
+  if (task.numa_home != nullptr && *task.numa_home < 0) {
+    *task.numa_home = topology_->socket_of(cpu);
+  }
+  task.state = TaskState::Running;
+  core.current = &task;
+  core.charged_until = now();
+  core.slice_started = now();
+  core.slice_length = slice_for(core);
+
+  if (remaining_cost(task) == 0) {
+    if (!advance_actions(cpu, task)) {
+      core.current = nullptr;
+      dispatch(cpu);
+      return;
+    }
+  }
+  reprogram(cpu);
+}
+
+void Kernel::charge_running(hw::CpuId cpu) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  Task* task = core.current;
+  if (task == nullptr) {
+    core.charged_until = now();
+    return;
+  }
+  const SimDuration elapsed = now() - core.charged_until;
+  PINSIM_CHECK(elapsed >= 0);
+  if (elapsed == 0) return;
+  core.charged_until = now();
+
+  const SimDuration paid = std::min(task->overhead_debt, elapsed);
+  task->overhead_debt -= paid;
+  task->stats.overhead_paid += paid;
+  const SimDuration worked = elapsed - paid;
+  if (worked > 0) {
+    // On a NUMA-remote socket the same wall time advances the burst more
+    // slowly; the shortfall is remote-access stall time.
+    const double slow = numa_slowdown(*task, cpu);
+    SimDuration effective = static_cast<SimDuration>(
+        std::llround(static_cast<double>(worked) / slow));
+    effective = std::min(effective, task->burst_remaining);
+    task->burst_remaining -= effective;
+    task->burst_consumed += effective;
+    task->stats.overhead_paid += worked - effective;
+    task->stats.work_done = static_cast<SimDuration>(
+        std::llround(static_cast<double>(task->burst_consumed) /
+                     task->compute_inflation));
+  }
+  task->stats.cpu_time += elapsed;
+  task->vruntime += static_cast<SimDuration>(
+      static_cast<double>(elapsed) / task->weight);
+
+  if (task->cgroup != nullptr) {
+    const SimDuration accounting = task->cgroup->charge(cpu, elapsed);
+    if (accounting > 0) task->overhead_debt += accounting;
+    // Throttling is enforced lazily at the next boundary/dispatch.
+  }
+}
+
+void Kernel::reprogram(hw::CpuId cpu) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  core.boundary.cancel();
+  Task* task = core.current;
+  if (task == nullptr) return;
+  const SimDuration until_slice =
+      core.slice_started + core.slice_length - now();
+  const SimDuration cost = remaining_cost_on(*task, cpu);
+  PINSIM_CHECK_MSG(cost > 0, "running task with nothing to do: "
+                                 << task->name());
+  SimDuration next = cost;
+  if (until_slice < next) next = std::max<SimDuration>(until_slice, 1);
+  if (task->cgroup != nullptr && task->cgroup->has_quota()) {
+    // Quota-governed tasks account at fine granularity and never run past
+    // the group's remaining runtime, so bandwidth is enforced exactly.
+    next = std::min(next, costs_->cgroup_aggregate_interval);
+    const SimDuration horizon = task->cgroup->runtime_horizon(cpu);
+    next = std::min(next, std::max<SimDuration>(horizon, 1));
+  }
+  core.boundary = engine_->schedule(next, [this, cpu] { on_boundary(cpu); });
+}
+
+void Kernel::on_boundary(hw::CpuId cpu) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  Task* task = core.current;
+  PINSIM_CHECK(task != nullptr);
+  charge_running(cpu);
+
+  if (task->cgroup != nullptr && task->cgroup->throttled_on(cpu)) {
+    notify([&](SchedObserver& o) {
+      o.on_slice(*task, cpu, now() - core.slice_started);
+    });
+    ++stats_.throttle_events;
+    notify([&](SchedObserver& o) { o.on_throttle(*task->cgroup); });
+    task->state = TaskState::Throttled;
+    task->cgroup->parked().push_back(task);
+    core.current = nullptr;
+    dispatch(cpu);
+    return;
+  }
+
+  if (remaining_cost(*task) == 0) {
+    if (!advance_actions(cpu, *task)) {
+      core.current = nullptr;
+      dispatch(cpu);
+      return;
+    }
+  }
+
+  if (now() >= core.slice_started + core.slice_length) {
+    if (!core.rq.empty()) {
+      stop_running(cpu, /*requeue=*/true);
+      dispatch(cpu);
+      return;
+    }
+    // Alone on the cpu: start a fresh slice window.
+    core.slice_started = now();
+    core.slice_length = slice_for(core);
+  }
+  reprogram(cpu);
+}
+
+void Kernel::stop_running(hw::CpuId cpu, bool requeue) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  Task* task = core.current;
+  PINSIM_CHECK(task != nullptr);
+  notify([&](SchedObserver& o) {
+    o.on_slice(*task, cpu, now() - core.slice_started);
+  });
+  ++stats_.preemptions;
+  core.current = nullptr;
+  if (requeue) {
+    task->state = TaskState::Runnable;
+    task->enqueued_at = now();
+    task->queued_cpu = cpu;
+    core.rq.enqueue(*task);
+  }
+}
+
+bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  // Busy-polling receive: burn another poll chunk unless the message
+  // arrived, in which case the Recv completes and the driver proceeds.
+  if (task.spin_recv) {
+    if (task.pending_msgs == 0) {
+      task.overhead_debt += costs_->spin_poll_chunk;
+      return true;
+    }
+    task.spin_recv = false;
+    --task.pending_msgs;
+  }
+  for (int guard = 0; guard < 100000; ++guard) {
+    const Action action = task.driver().next(task);
+    switch (action.kind) {
+      case Action::Kind::Compute: {
+        if (action.work == 0) continue;
+        task.burst_remaining = static_cast<SimDuration>(
+            static_cast<double>(action.work) * task.compute_inflation);
+        return true;
+      }
+      case Action::Kind::Post: {
+        PINSIM_CHECK(action.target != nullptr);
+        deliver(task, *action.target, action.count);
+        continue;
+      }
+      case Action::Kind::Recv: {
+        if (task.pending_msgs > 0) {
+          --task.pending_msgs;
+          continue;
+        }
+        if (action.spin) {
+          task.spin_recv = true;
+          task.overhead_debt += costs_->spin_poll_chunk;
+          return true;
+        }
+        task.recv_waiting = true;
+        block_task(task);
+        notify([&](SchedObserver& o) {
+          o.on_slice(task, cpu, now() - core.slice_started);
+        });
+        return false;
+      }
+      case Action::Kind::Io: {
+        submit_io(task, action);
+        block_task(task);
+        notify([&](SchedObserver& o) {
+          o.on_slice(task, cpu, now() - core.slice_started);
+        });
+        return false;
+      }
+      case Action::Kind::Sleep: {
+        Task* woken = &task;
+        engine_->schedule(action.duration,
+                          [this, woken] { wake_common(*woken, 0); });
+        block_task(task);
+        notify([&](SchedObserver& o) {
+          o.on_slice(task, cpu, now() - core.slice_started);
+        });
+        return false;
+      }
+      case Action::Kind::Exit: {
+        notify([&](SchedObserver& o) {
+          o.on_slice(task, cpu, now() - core.slice_started);
+        });
+        finish_task(task);
+        return false;
+      }
+    }
+  }
+  PINSIM_CHECK_MSG(false, "driver for " << task.name()
+                                        << " spun 100000 zero-cost actions");
+  return false;
+}
+
+void Kernel::block_task(Task& task) {
+  PINSIM_CHECK(task.state == TaskState::Running);
+  task.state = TaskState::Blocked;
+  task.blocked_at = now();
+}
+
+void Kernel::finish_task(Task& task) {
+  PINSIM_CHECK(task.state == TaskState::Running);
+  task.state = TaskState::Finished;
+  task.stats.finished_at = now();
+  --live_tasks_;
+  auto& on_exit = on_exit_[static_cast<std::size_t>(task.id())];
+  if (on_exit) on_exit(task);
+}
+
+void Kernel::deliver(Task& from, Task& to, int count) {
+  PINSIM_CHECK(count >= 1);
+  from.stats.messages_sent += count;
+  // Host-mediated IPC: syscall + wake chain per message, paid by the
+  // sender. (The guest kernel overrides this cost for intra-VM messages.)
+  from.overhead_debt += costs_->host_ipc * count;
+  if (from.cgroup != nullptr && from.cgroup == to.cgroup) {
+    // Intra-container traffic crosses the bridge network path and raises
+    // a softirq on some host cpu.
+    from.overhead_debt += costs_->container_net_msg * count;
+    charge_irq(irq_rr_ = (irq_rr_ + 1) % topology_->num_cpus());
+  }
+  to.pending_msgs += count;
+  if (to.state == TaskState::Blocked && to.recv_waiting) {
+    to.recv_waiting = false;
+    --to.pending_msgs;
+    // The wakeup originates on the sender's cpu.
+    wake_common(to, 0, from.last_cpu);
+  }
+}
+
+void Kernel::post_external(Task& task, int count) {
+  PINSIM_CHECK(count >= 1);
+  task.pending_msgs += count;
+  if (task.state == TaskState::Blocked && task.recv_waiting) {
+    task.recv_waiting = false;
+    --task.pending_msgs;
+    // External messages arrive through the NIC: the wake originates on
+    // whichever cpu took the interrupt.
+    const hw::CpuId irq_cpu = irq_target(task);
+    charge_irq(irq_cpu);
+    wake_common(task, costs_->kernel_entry, irq_cpu);
+  }
+}
+
+void Kernel::post_local(Task& task, int count) {
+  PINSIM_CHECK(count >= 1);
+  task.pending_msgs += count;
+  if (task.state == TaskState::Blocked && task.recv_waiting) {
+    task.recv_waiting = false;
+    --task.pending_msgs;
+    wake_common(task, costs_->kernel_entry, task.last_cpu);
+  }
+}
+
+}  // namespace pinsim::os

@@ -1,0 +1,223 @@
+// The operating-system kernel model.
+//
+// An event-driven CFS-like scheduler over the host topology:
+//  - per-cpu runqueues ordered by vruntime, slice = latency / nr_running;
+//  - wakeup placement that prefers the previous cpu and otherwise picks
+//    an idle/least-loaded cpu within the task's allowed set — vanilla
+//    platforms therefore scatter across the host, pinned ones stay put;
+//  - new-idle stealing and periodic load balancing;
+//  - migration dispatch charges the cache-refill penalty from
+//    hw::CacheModel;
+//  - cgroup bandwidth periods, usage aggregation, and throttling;
+//  - device interrupts: completion IRQs steal time from the interrupted
+//    cpu and pay the wakeup chain, with IRQ steering to the task's
+//    previous cpu for pinned groups (IO affinity, paper §III-B3).
+//
+// The same class instantiates the bare-metal host, the (GRUB-limited)
+// bare-metal instance sizes, and — with a different Topology — nothing
+// else: the guest kernel inside a VM is virt::GuestKernel, which reuses
+// Task/Runqueue/Cgroup but advances only when its vCPUs are granted host
+// CPU time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cache_model.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/cpuset.hpp"
+#include "hw/topology.hpp"
+#include "os/cgroup.hpp"
+#include "os/observer.hpp"
+#include "os/runqueue.hpp"
+#include "os/task.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::os {
+
+struct SchedParams {
+  /// Target latency: every runnable task runs once per this window.
+  SimDuration sched_latency = msec(12);
+  /// Minimum slice regardless of queue depth.
+  SimDuration min_granularity = msec(1);
+  /// A waking task preempts the running one only if it is behind by at
+  /// least this much vruntime.
+  SimDuration wakeup_preempt_granularity = msec(1);
+  /// Periodic load-balance interval.
+  SimDuration balance_interval = msec(8);
+  /// Sleeper credit: a waking task's vruntime is floored at
+  /// (queue min_vruntime − sched_latency).
+  bool sleeper_credit = true;
+};
+
+struct KernelStats {
+  std::int64_t context_switches = 0;
+  std::int64_t migrations = 0;
+  std::int64_t cross_socket_migrations = 0;
+  std::int64_t wakeups = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t irqs = 0;
+  std::int64_t steals = 0;
+  std::int64_t balance_moves = 0;
+  std::int64_t throttle_events = 0;
+  std::int64_t unthrottle_events = 0;
+  std::int64_t aggregation_events = 0;
+  SimDuration migration_penalty_total = 0;
+};
+
+struct TaskConfig {
+  /// Allowed cpus; empty = all cpus of this kernel.
+  hw::CpuSet affinity;
+  Cgroup* cgroup = nullptr;
+  double weight = 1.0;
+  double working_set_mb = 5.0;
+  /// Multiplier from pure work to cpu time (used by the VM layer).
+  double compute_inflation = 1.0;
+  /// First-touch NUMA home shared with sibling threads; null = exempt.
+  std::shared_ptr<int> numa_home;
+  /// Start the task on the device IRQ domain (network-born requests).
+  bool device_local_start = false;
+  /// Invoked when the task exits (response-time collection).
+  std::function<void(Task&)> on_exit;
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Engine& engine, const hw::Topology& topology,
+         const hw::CostModel& costs, Rng rng, SchedParams params = {},
+         std::string name = "host");
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- setup ---------------------------------------------------------------
+  Cgroup& create_cgroup(Cgroup::Config config);
+
+  Task& create_task(std::string name, std::unique_ptr<TaskDriver> driver,
+                    TaskConfig config = {});
+
+  /// Make a created task runnable now (arrival).
+  void start_task(Task& task);
+
+  /// Wake a blocked task (message/event delivery from outside the
+  /// kernel, e.g. a load generator or hypervisor).
+  void wake(Task& task);
+
+  /// Deliver `count` messages to `task` from outside the kernel, waking
+  /// it if it blocks in Recv. Models arrival through a device interrupt:
+  /// charges IRQ service on a (steered or round-robin) cpu and wakes the
+  /// task with that cpu as the locality hint.
+  void post_external(Task& task, int count = 1);
+
+  /// Like post_external but local: the wake targets the task's previous
+  /// cpu without a device interrupt (KVM-style vCPU kick: the IPI goes
+  /// to wherever the vCPU last ran).
+  void post_local(Task& task, int count = 1);
+
+  void add_observer(SchedObserver& observer);
+
+  // --- queries ---------------------------------------------------------------
+  sim::Engine& engine() { return *engine_; }
+  SimTime now() const { return engine_->now(); }
+  const hw::Topology& topology() const { return *topology_; }
+  const hw::CostModel& costs() const { return *costs_; }
+  const std::string& name() const { return name_; }
+
+  int live_tasks() const { return live_tasks_; }
+  bool idle_cpu(hw::CpuId cpu) const;
+  const KernelStats& stats() const { return stats_; }
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+
+  /// Run the engine until every started task has finished (or `horizon`).
+  /// Returns true when all tasks finished.
+  bool run_until_quiescent(SimTime horizon = sim::Engine::kNoHorizon);
+
+ private:
+  struct CoreState {
+    Task* current = nullptr;
+    Runqueue rq;
+    sim::EventHandle boundary;
+    SimTime charged_until = 0;
+    SimTime slice_started = 0;
+    SimDuration slice_length = 0;
+  };
+
+  // --- core scheduling (kernel.cpp) ---------------------------------------
+  void dispatch(hw::CpuId cpu);
+  void on_boundary(hw::CpuId cpu);
+  void charge_running(hw::CpuId cpu);
+  void reprogram(hw::CpuId cpu);
+  void stop_running(hw::CpuId cpu, bool requeue);
+  /// Ask the driver for actions until the task blocks, exits, or has a
+  /// compute burst. Returns true while the task should stay on the cpu.
+  bool advance_actions(hw::CpuId cpu, Task& task);
+  void finish_task(Task& task);
+  void block_task(Task& task);
+  void deliver(Task& from, Task& to, int count);
+  SimDuration slice_for(const CoreState& core) const;
+  SimDuration remaining_cost(const Task& task) const;
+  /// NUMA slowdown factor for running `task` on `cpu` (>= 1.0).
+  double numa_slowdown(const Task& task, hw::CpuId cpu) const;
+  /// remaining_cost adjusted for the NUMA slowdown on `cpu`.
+  SimDuration remaining_cost_on(const Task& task, hw::CpuId cpu) const;
+
+  // --- wakeup path (kernel_wakeup.cpp) -------------------------------------
+  hw::CpuSet allowed_cpus(const Task& task) const;
+  /// `hint` is the cpu the wakeup originated on (IRQ handler, message
+  /// poster); -1 means no locality hint. Unpinned tasks are pulled
+  /// toward the hint's LLC domain (wake_affine), which is what smears a
+  /// vanilla container across the host as its interrupts round-robin.
+  hw::CpuId place_task(Task& task, hw::CpuId hint = -1);
+  void enqueue_task(Task& task, hw::CpuId cpu);
+  void wake_common(Task& task, SimDuration extra_debt,
+                   hw::CpuId hint = -1);
+  void io_complete(Task& task);
+  void submit_io(Task& task, const Action& action);
+  hw::CpuId irq_target(const Task& task);
+  void charge_irq(hw::CpuId cpu);
+
+  // --- balancing & cgroup periodic work (kernel_balance.cpp) --------------
+  void steal_for(hw::CpuId cpu);
+  void periodic_balance();
+  void housekeeping_tick();
+  void cgroup_period(Cgroup& group);
+  void cgroup_aggregate(Cgroup& group);
+  void park_group(Cgroup& group);
+  void release_group(Cgroup& group);
+  void ensure_housekeeping();
+
+  // --- helpers --------------------------------------------------------------
+  hw::CpuId cpu_of_running(const Task& task) const;
+  template <typename Fn>
+  void notify(Fn&& fn) {
+    for (auto* obs : observers_) fn(*obs);
+  }
+
+  sim::Engine* engine_;
+  const hw::Topology* topology_;
+  const hw::CostModel* costs_;
+  hw::CacheModel cache_model_;
+  Rng rng_;
+  SchedParams params_;
+  std::string name_;
+
+  std::vector<CoreState> cores_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<Cgroup>> cgroups_;
+  std::vector<SchedObserver*> observers_;
+  std::vector<std::function<void(Task&)>> on_exit_;
+
+  int live_tasks_ = 0;
+  hw::CpuId irq_rr_ = 0;  // round-robin irq distribution for unpinned IO
+  bool housekeeping_active_ = false;
+  std::vector<SimTime> cgroup_next_period_;  // parallel to cgroups_
+  SimTime next_balance_ = 0;
+  KernelStats stats_;
+};
+
+}  // namespace pinsim::os

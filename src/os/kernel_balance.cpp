@@ -1,0 +1,183 @@
+// Load balancing and periodic housekeeping (cgroup bandwidth periods,
+// usage aggregation, periodic rebalance).
+#include "os/kernel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace pinsim::os {
+
+namespace {
+
+/// vruntime renormalization when a task changes runqueue outside the
+/// wakeup path (steals / balance moves).
+void renormalize(Task& task, const Runqueue& from, const Runqueue& to) {
+  task.vruntime = task.vruntime - from.min_vruntime() + to.min_vruntime();
+}
+
+}  // namespace
+
+void Kernel::steal_for(hw::CpuId cpu) {
+  auto& here = cores_[static_cast<std::size_t>(cpu)];
+  PINSIM_CHECK(here.rq.empty());
+
+  int best_load = 0;
+  hw::CpuId victim = -1;
+  Task* candidate = nullptr;
+  for (int other = 0; other < topology_->num_cpus(); ++other) {
+    if (other == cpu) continue;
+    auto& rq = cores_[static_cast<std::size_t>(other)].rq;
+    if (rq.size() <= best_load) continue;
+    // Find the most-serviced task allowed to run here whose group is not
+    // throttled (parking them here would just churn).
+    Task* found = nullptr;
+    rq.for_each([&](Task& task) {
+      if (!allowed_cpus(task).contains(cpu)) return;
+      if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) return;
+      found = &task;  // last visitor = max vruntime
+    });
+    if (found != nullptr) {
+      best_load = rq.size();
+      victim = other;
+      candidate = found;
+    }
+  }
+  if (candidate == nullptr) return;
+
+  auto& victim_rq = cores_[static_cast<std::size_t>(victim)].rq;
+  victim_rq.remove(*candidate);
+  renormalize(*candidate, victim_rq, here.rq);
+  candidate->queued_cpu = cpu;
+  here.rq.enqueue(*candidate);
+  ++stats_.steals;
+}
+
+void Kernel::periodic_balance() {
+  // One migration per tick from the most- to the least-loaded cpu keeps
+  // long-run fairness without thrashing; new-idle stealing does the
+  // latency-critical part.
+  int max_load = 0;
+  int min_load = INT32_MAX;
+  hw::CpuId busiest = -1;
+  hw::CpuId idlest = -1;
+  for (int cpu = 0; cpu < topology_->num_cpus(); ++cpu) {
+    const auto& core = cores_[static_cast<std::size_t>(cpu)];
+    const int load = core.rq.size() + (core.current != nullptr ? 1 : 0);
+    if (load > max_load) {
+      max_load = load;
+      busiest = cpu;
+    }
+    if (load < min_load) {
+      min_load = load;
+      idlest = cpu;
+    }
+  }
+  // Move when clearly imbalanced; with a persistent 1-task imbalance
+  // (e.g. 5 runnable tasks on 4 cpus) CFS still rotates the surplus task
+  // so every task gets a fair global share — mirror that by migrating
+  // whenever the busiest cpu has queued work and someone is lighter.
+  if (busiest < 0 || idlest < 0) return;
+  if (max_load - min_load < 2 &&
+      !(max_load - min_load == 1 && max_load >= 2)) {
+    return;
+  }
+
+  auto& from = cores_[static_cast<std::size_t>(busiest)];
+  Task* candidate = nullptr;
+  from.rq.for_each([&](Task& task) {
+    if (!allowed_cpus(task).contains(idlest)) return;
+    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) return;
+    candidate = &task;
+  });
+  if (candidate == nullptr) return;
+
+  auto& to = cores_[static_cast<std::size_t>(idlest)];
+  from.rq.remove(*candidate);
+  renormalize(*candidate, from.rq, to.rq);
+  candidate->queued_cpu = idlest;
+  to.rq.enqueue(*candidate);
+  ++stats_.balance_moves;
+  if (to.current == nullptr) dispatch(idlest);
+}
+
+void Kernel::ensure_housekeeping() {
+  if (housekeeping_active_) return;
+  housekeeping_active_ = true;
+  next_balance_ = now() + params_.balance_interval;
+  // Catch up cgroup period bookkeeping to the present.
+  cgroup_next_period_.resize(cgroups_.size(), now());
+  for (auto& next : cgroup_next_period_) {
+    next = std::max(next, now());
+  }
+  PINSIM_INFO("housekeeping armed at t=" << engine_->now());
+  const SimDuration tick = costs_->cgroup_aggregate_interval;
+  engine_->schedule(tick, [this] { housekeeping_tick(); });
+}
+
+void Kernel::housekeeping_tick() {
+  if (live_tasks_ == 0) {
+    PINSIM_INFO("housekeeping idle-stop at t=" << engine_->now());
+    housekeeping_active_ = false;
+    return;
+  }
+  cgroup_next_period_.resize(cgroups_.size(), now());
+  for (std::size_t i = 0; i < cgroups_.size(); ++i) {
+    Cgroup& group = *cgroups_[i];
+    cgroup_aggregate(group);
+    if (group.has_quota() && now() >= cgroup_next_period_[i]) {
+      cgroup_period(group);
+      cgroup_next_period_[i] = now() + costs_->cfs_period;
+    }
+  }
+  if (now() >= next_balance_) {
+    periodic_balance();
+    next_balance_ = now() + params_.balance_interval;
+  }
+  engine_->schedule(costs_->cgroup_aggregate_interval,
+                    [this] { housekeeping_tick(); });
+}
+
+void Kernel::cgroup_aggregate(Cgroup& group) {
+  const int spread = group.current_spread();
+  const SimDuration cost = group.aggregate();
+  if (cost == 0) return;
+  ++stats_.aggregation_events;
+  notify([&](SchedObserver& o) { o.on_aggregation(group, spread, cost); });
+  // The aggregation is an atomic kernel-space pass over the per-cpu
+  // usage records and the group is suspended while it runs (paper
+  // §IV-B: "the container has to be suspended until tracking and
+  // aggregating resource usage of the container is complete"): every
+  // member currently on a cpu stalls for the duration of the walk,
+  // which grows with the group's spread.
+  for (int cpu = 0; cpu < topology_->num_cpus(); ++cpu) {
+    auto& core = cores_[static_cast<std::size_t>(cpu)];
+    if (core.current != nullptr && core.current->cgroup == &group) {
+      charge_running(cpu);
+      core.current->overhead_debt += cost;
+      reprogram(cpu);
+    }
+  }
+}
+
+void Kernel::cgroup_period(Cgroup& group) {
+  const bool released = group.refill_period();
+  if (!released) return;
+  ++stats_.unthrottle_events;
+  PINSIM_INFO("unthrottle " << group.name() << " at t=" << engine_->now()
+                            << " parked=" << group.parked().size());
+  // Unthrottle: every parked task re-enters through the wakeup path;
+  // vanilla groups scatter again (and repay cache refills), pinned ones
+  // return to their cpuset.
+  std::vector<Task*> parked;
+  parked.swap(group.parked());
+  for (Task* task : parked) {
+    PINSIM_CHECK(task->state == TaskState::Throttled);
+    task->overhead_debt += costs_->sched_pick;
+    const hw::CpuId cpu = place_task(*task);
+    enqueue_task(*task, cpu);
+  }
+}
+
+}  // namespace pinsim::os

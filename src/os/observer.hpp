@@ -1,0 +1,50 @@
+// Scheduler observation hooks.
+//
+// The paper instruments its testbed with BCC kernel tracing (cpudist,
+// offcputime) to explain *why* each platform behaves as it does; the
+// trace module implements this interface to provide the same views of
+// the simulated kernel. Observers are passive: they must not mutate
+// tasks or scheduling state.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace pinsim::os {
+
+class Task;
+class Cgroup;
+
+class SchedObserver {
+ public:
+  virtual ~SchedObserver() = default;
+
+  /// A task ran on `cpu` for `duration` and was then switched out,
+  /// blocked, or finished.
+  virtual void on_slice(const Task& task, int cpu, SimDuration duration) {
+    (void)task, (void)cpu, (void)duration;
+  }
+
+  /// A task that was blocked for `duration` just woke up.
+  virtual void off_cpu(const Task& task, SimDuration duration) {
+    (void)task, (void)duration;
+  }
+
+  /// A task is being dispatched on a cpu other than its previous one.
+  virtual void on_migration(const Task& task, int from, int to,
+                            SimDuration penalty) {
+    (void)task, (void)from, (void)to, (void)penalty;
+  }
+
+  virtual void on_context_switch(int cpu) { (void)cpu; }
+
+  virtual void on_irq(int cpu) { (void)cpu; }
+
+  virtual void on_throttle(const Cgroup& group) { (void)group; }
+
+  virtual void on_aggregation(const Cgroup& group, int spread,
+                              SimDuration cost) {
+    (void)group, (void)spread, (void)cost;
+  }
+};
+
+}  // namespace pinsim::os

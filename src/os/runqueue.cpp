@@ -1,0 +1,46 @@
+#include "os/runqueue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pinsim::os {
+
+void Runqueue::enqueue(Task& task) {
+  PINSIM_CHECK_MSG(!contains(task),
+                   "task " << task.name() << " enqueued twice");
+  entries_.insert(Entry{task.vruntime, task.id(), &task});
+  min_vruntime_ = std::max(min_vruntime_, entries_.begin()->vruntime);
+}
+
+void Runqueue::remove(Task& task) {
+  const auto it = entries_.find(Entry{task.vruntime, task.id(), &task});
+  PINSIM_CHECK_MSG(it != entries_.end(),
+                   "task " << task.name() << " not in runqueue");
+  entries_.erase(it);
+}
+
+bool Runqueue::contains(const Task& task) const {
+  return entries_.count(
+             Entry{task.vruntime, task.id(), const_cast<Task*>(&task)}) > 0;
+}
+
+Task* Runqueue::peek_min() const {
+  if (entries_.empty()) return nullptr;
+  return entries_.begin()->task;
+}
+
+Task& Runqueue::pop_min() {
+  PINSIM_CHECK(!entries_.empty());
+  Task& task = *entries_.begin()->task;
+  min_vruntime_ = std::max(min_vruntime_, entries_.begin()->vruntime);
+  entries_.erase(entries_.begin());
+  return task;
+}
+
+Task* Runqueue::peek_max() const {
+  if (entries_.empty()) return nullptr;
+  return entries_.rbegin()->task;
+}
+
+}  // namespace pinsim::os

@@ -1,0 +1,58 @@
+// Per-cpu run queue ordered by virtual runtime.
+//
+// The CFS analogue: the task with the smallest vruntime runs next, so CPU
+// time is shared in proportion to weight. The kernel keeps one Runqueue
+// per logical cpu; the guest kernel keeps one per vCPU.
+#pragma once
+
+#include <set>
+
+#include "os/task.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::os {
+
+class Runqueue {
+ public:
+  void enqueue(Task& task);
+  void remove(Task& task);
+  bool contains(const Task& task) const;
+
+  /// Task with the smallest vruntime, or nullptr when empty.
+  Task* peek_min() const;
+  /// Remove and return the minimum-vruntime task; requires non-empty.
+  Task& pop_min();
+
+  /// Steal candidate: the task with the *largest* vruntime (it has had
+  /// the most service, so moving it is fairest), or nullptr when empty.
+  Task* peek_max() const;
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Floor for newly woken tasks so sleepers cannot monopolize the cpu
+  /// with an ancient vruntime.
+  SimDuration min_vruntime() const { return min_vruntime_; }
+
+  /// Iterate over queued tasks (order: vruntime ascending).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& entry : entries_) fn(*entry.task);
+  }
+
+ private:
+  struct Entry {
+    SimDuration vruntime;
+    Task::Id id;
+    Task* task;
+    bool operator<(const Entry& other) const {
+      if (vruntime != other.vruntime) return vruntime < other.vruntime;
+      return id < other.id;
+    }
+  };
+
+  std::set<Entry> entries_;
+  SimDuration min_vruntime_ = 0;
+};
+
+}  // namespace pinsim::os

@@ -1,0 +1,84 @@
+#include "os/task.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pinsim::os {
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::Created:
+      return "created";
+    case TaskState::Runnable:
+      return "runnable";
+    case TaskState::Running:
+      return "running";
+    case TaskState::Blocked:
+      return "blocked";
+    case TaskState::Throttled:
+      return "throttled";
+    case TaskState::Finished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+Action Action::compute(SimDuration work) {
+  PINSIM_CHECK(work >= 0);
+  Action action;
+  action.kind = Kind::Compute;
+  action.work = work;
+  return action;
+}
+
+Action Action::io(hw::IoDevice& device, hw::IoRequest request) {
+  Action action;
+  action.kind = Kind::Io;
+  action.device = &device;
+  action.request = request;
+  return action;
+}
+
+Action Action::recv() {
+  Action action;
+  action.kind = Kind::Recv;
+  return action;
+}
+
+Action Action::recv_spin() {
+  Action action;
+  action.kind = Kind::Recv;
+  action.spin = true;
+  return action;
+}
+
+Action Action::post(Task& target, int count) {
+  PINSIM_CHECK(count >= 1);
+  Action action;
+  action.kind = Kind::Post;
+  action.target = &target;
+  action.count = count;
+  return action;
+}
+
+Action Action::sleep_for(SimDuration duration) {
+  PINSIM_CHECK(duration >= 0);
+  Action action;
+  action.kind = Kind::Sleep;
+  action.duration = duration;
+  return action;
+}
+
+Action Action::exit() {
+  Action action;
+  action.kind = Kind::Exit;
+  return action;
+}
+
+Task::Task(Id id, std::string name, std::unique_ptr<TaskDriver> driver)
+    : id_(id), name_(std::move(name)), driver_(std::move(driver)) {
+  PINSIM_CHECK(driver_ != nullptr);
+}
+
+}  // namespace pinsim::os

@@ -1,0 +1,181 @@
+// Tasks and their behaviour protocol.
+//
+// A Task is the schedulable entity — a thread from the executor's point of
+// view. Its behaviour is supplied by a TaskDriver that yields Actions:
+// compute bursts, IO, message sends/receives, sleeps, exit. The same Task
+// and driver run unmodified under the host kernel (bare-metal, container)
+// or a guest kernel inside a simulated VM — the executor decides what each
+// action costs, which is exactly the paper's subject.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hw/cpuset.hpp"
+#include "hw/disk.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::os {
+
+class Task;
+class Cgroup;
+
+enum class TaskState {
+  Created,    // not yet started
+  Runnable,   // waiting in a runqueue
+  Running,    // on a cpu
+  Blocked,    // waiting for IO / message / sleep
+  Throttled,  // dequeued by cgroup bandwidth control
+  Finished
+};
+
+const char* to_string(TaskState state);
+
+/// One step of task behaviour.
+struct Action {
+  enum class Kind { Compute, Io, Recv, Post, Sleep, Exit };
+
+  Kind kind = Kind::Exit;
+  /// Recv: busy-poll for the message instead of blocking (MPI-style
+  /// user-space spinning; burns CPU — and cgroup quota — while waiting,
+  /// but avoids the sleep/wake path entirely).
+  bool spin = false;
+  /// Compute: pure work in ns (bare-metal user-mode CPU time).
+  SimDuration work = 0;
+  /// Io: target device and request.
+  hw::IoDevice* device = nullptr;
+  hw::IoRequest request;
+  /// Post: destination task (must belong to the same executor).
+  Task* target = nullptr;
+  /// Post: number of messages to deliver.
+  int count = 1;
+  /// Sleep: duration.
+  SimDuration duration = 0;
+
+  static Action compute(SimDuration work);
+  static Action io(hw::IoDevice& device, hw::IoRequest request);
+  /// Block until at least one message is pending, then consume one.
+  static Action recv();
+  /// Busy-poll until a message is pending, then consume one.
+  static Action recv_spin();
+  /// Deliver `count` messages to `target` and continue immediately.
+  static Action post(Task& target, int count = 1);
+  static Action sleep_for(SimDuration duration);
+  static Action exit();
+};
+
+/// Supplies a task's next action. `next()` is called exactly when the
+/// previous action has fully completed (compute charged, IO finished,
+/// message received). Drivers are owned by their task.
+class TaskDriver {
+ public:
+  virtual ~TaskDriver() = default;
+  virtual Action next(Task& task) = 0;
+};
+
+struct TaskStats {
+  SimDuration cpu_time = 0;       // host cpu time consumed (incl. overheads)
+  SimDuration work_done = 0;      // pure work accomplished
+  SimDuration overhead_paid = 0;  // debt paid (migrations, cgroups, vmexits…)
+  SimDuration wait_time = 0;      // runnable, waiting for a cpu
+  SimDuration block_time = 0;     // blocked on IO / messages / sleep
+  std::int64_t migrations = 0;
+  std::int64_t context_switches = 0;
+  std::int64_t wakeups = 0;
+  std::int64_t io_ops = 0;
+  std::int64_t messages_sent = 0;
+  SimTime started_at = -1;
+  SimTime finished_at = -1;
+};
+
+class Task {
+ public:
+  using Id = std::int64_t;
+
+  Task(Id id, std::string name, std::unique_ptr<TaskDriver> driver);
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  Id id() const { return id_; }
+  const std::string& name() const { return name_; }
+  TaskDriver& driver() { return *driver_; }
+
+  // --- Fields owned by the executor. Kept public: Task is an internal
+  // scheduler record, and the kernel manipulates these in concert; mirror
+  // accessors would only add noise. External code should treat everything
+  // below as read-only and use the stats() snapshot.
+  TaskState state = TaskState::Created;
+  double weight = 1.0;
+  SimDuration vruntime = 0;
+  hw::CpuSet affinity;          // empty = all cpus of the executor
+  Cgroup* cgroup = nullptr;
+
+  /// Remaining executor-CPU time of the current compute burst.
+  SimDuration burst_remaining = 0;
+  /// Overhead owed before any real work progresses (migration refills,
+  /// cgroup charges, vmexits, wakeup chains).
+  SimDuration overhead_debt = 0;
+  /// Cumulative executor-CPU time spent on compute bursts; work_done is
+  /// derived from this so per-slice rounding never drifts.
+  SimDuration burst_consumed = 0;
+  /// Multiplier from pure work to executor CPU time (guest tasks carry
+  /// the hypervisor's compute inflation).
+  double compute_inflation = 1.0;
+
+  hw::CpuId last_cpu = -1;
+  double working_set_mb = 5.0;
+  /// Shared memory-home socket (first-touch NUMA). All threads of a
+  /// process share one; set to the first socket any of them runs on.
+  /// Null = NUMA-exempt (e.g. vCPU threads, whose guest RAM policy is
+  /// folded into the hypervisor calibration).
+  std::shared_ptr<int> numa_home;
+  /// Set once the task performs IO; migrations then also pay the
+  /// IO-channel re-establishment cost.
+  bool io_active = false;
+
+  /// Pending unconsumed messages (Recv blocks while 0).
+  int pending_msgs = 0;
+  /// True while the task is blocked inside a Recv action.
+  bool recv_waiting = false;
+  /// True while the task is busy-polling inside a spinning Recv.
+  bool spin_recv = false;
+
+  /// Pinned platforms wake their tasks on the previous cpu even when it
+  /// is busy (IO affinity beats load balance); vanilla platforms let the
+  /// scheduler spread wakeups.
+  bool sticky_wakeup = false;
+
+  /// Network-born tasks (one process per request) start on the device's
+  /// softirq cpu rather than a random idle cpu — where accept() ran.
+  bool device_local_start = false;
+
+  // Executor bookkeeping timestamps.
+  SimTime enqueued_at = 0;
+  SimTime blocked_at = 0;
+  /// Cpu whose runqueue currently holds this task (-1 when not queued).
+  hw::CpuId queued_cpu = -1;
+
+  TaskStats stats;
+
+ private:
+  Id id_;
+  std::string name_;
+  std::unique_ptr<TaskDriver> driver_;
+};
+
+/// Convenience driver built from a lambda: `fn(task)` returns the next
+/// Action. Useful in tests and simple workloads.
+class LambdaDriver final : public TaskDriver {
+ public:
+  using Fn = std::function<Action(Task&)>;
+  explicit LambdaDriver(Fn fn) : fn_(std::move(fn)) {}
+  Action next(Task& task) override { return fn_(task); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace pinsim::os

@@ -1,0 +1,70 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace pinsim::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Engine::schedule(SimDuration delay, std::function<void()> fn) {
+  PINSIM_CHECK_MSG(delay >= 0, "event scheduled in the past (delay=" << delay
+                                                                     << ")");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event scheduled before now (" << when << " < " << now_
+                                                  << ")");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+bool Engine::step(SimTime horizon) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > horizon) return false;
+    if (top.state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    // Move out before popping; the callback may schedule further events.
+    Entry entry{top.when, top.seq, std::move(const_cast<Entry&>(top).fn),
+                top.state};
+    queue_.pop();
+    now_ = entry.when;
+    entry.state->fired = true;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::int64_t Engine::run(SimTime horizon) {
+  std::int64_t fired = 0;
+  while (step(horizon)) {
+    ++fired;
+  }
+  if (horizon != kNoHorizon && now_ < horizon && queue_.empty()) {
+    now_ = horizon;
+  }
+  return fired;
+}
+
+bool Engine::run_until(const std::function<bool()>& predicate,
+                       SimTime horizon) {
+  if (predicate()) return true;
+  while (step(horizon)) {
+    if (predicate()) return true;
+  }
+  return predicate();
+}
+
+}  // namespace pinsim::sim

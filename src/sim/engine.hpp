@@ -1,0 +1,94 @@
+// Discrete-event simulation engine.
+//
+// A single monotonically advancing clock and a priority queue of events.
+// Events scheduled at the same instant fire in scheduling order (FIFO by
+// sequence number) so the simulation is fully deterministic. Events can be
+// cancelled through the returned handle — the kernel uses this to retract
+// a core's quantum-expiry event when the core reschedules early.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::sim {
+
+class Engine;
+
+/// Cancellation handle for a scheduled event. Default-constructed handles
+/// are inert; cancelling twice is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing. Safe to call after the event fired.
+  void cancel();
+
+  /// True when the event is still pending (scheduled, not cancelled, not
+  /// yet fired).
+  bool pending() const;
+
+ private:
+  friend class Engine;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now. `delay` must be >= 0.
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedule `fn` at the absolute instant `when` (>= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue drains or `horizon` is reached (events at
+  /// exactly `horizon` still fire). Returns the number of events fired.
+  std::int64_t run(SimTime horizon = kNoHorizon);
+
+  /// Run until `predicate()` becomes true (checked after each event) or
+  /// the queue drains. Returns true when the predicate was satisfied.
+  bool run_until(const std::function<bool()>& predicate,
+                 SimTime horizon = kNoHorizon);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  static constexpr SimTime kNoHorizon = INT64_MAX;
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Fire the next event; returns false when the queue is empty or the
+  /// next event lies beyond `horizon`.
+  bool step(SimTime horizon);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace pinsim::sim

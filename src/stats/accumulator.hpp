@@ -1,0 +1,38 @@
+// Streaming sample statistics.
+//
+// Welford's online algorithm keeps mean and variance numerically stable
+// regardless of sample magnitude (simulated times span nanoseconds to
+// minutes). Used for per-repetition experiment results as well as
+// fine-grained per-event latencies.
+#pragma once
+
+#include <cstdint>
+
+namespace pinsim::stats {
+
+class Accumulator {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (Chan et al. parallel-variance update).
+  void merge(const Accumulator& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pinsim::stats

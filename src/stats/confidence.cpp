@@ -1,0 +1,38 @@
+#include "stats/confidence.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+
+double t_critical_95(int dof) {
+  PINSIM_CHECK(dof >= 1);
+  // Two-sided 95% (alpha = 0.05) critical values, dof 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof <= 30) return kTable[static_cast<std::size_t>(dof - 1)];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+Interval confidence_95(const Accumulator& acc) {
+  PINSIM_CHECK(acc.count() > 0);
+  Interval iv;
+  iv.mean = acc.mean();
+  if (acc.count() < 2) {
+    iv.half_width = 0.0;
+    return iv;
+  }
+  const int dof = static_cast<int>(acc.count()) - 1;
+  const double sem = acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
+  iv.half_width = t_critical_95(dof) * sem;
+  return iv;
+}
+
+}  // namespace pinsim::stats

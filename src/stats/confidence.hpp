@@ -1,0 +1,40 @@
+// Confidence intervals for experiment repetitions.
+//
+// The paper reports means with 95% confidence intervals over 6–20
+// repetitions; with so few samples the Student-t critical value (not the
+// normal 1.96) is required. A small table covers the degrees of freedom
+// that matter; beyond the table we converge to the normal quantile.
+#pragma once
+
+#include "stats/accumulator.hpp"
+
+namespace pinsim::stats {
+
+/// Two-sided Student-t critical value at 95% confidence for `dof`
+/// degrees of freedom.
+double t_critical_95(int dof);
+
+struct Interval {
+  double mean = 0.0;
+  /// Half-width of the 95% confidence interval (0 with <2 samples).
+  double half_width = 0.0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+
+  /// True when `value` falls inside the interval.
+  bool contains(double value) const {
+    return value >= lo() && value <= hi();
+  }
+
+  /// True when two intervals do not overlap — the paper's criterion for
+  /// calling a difference "statistically significant".
+  bool separated_from(const Interval& other) const {
+    return hi() < other.lo() || other.hi() < lo();
+  }
+};
+
+/// Mean and 95% CI of the samples in `acc`.
+Interval confidence_95(const Accumulator& acc);
+
+}  // namespace pinsim::stats

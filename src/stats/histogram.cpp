@@ -1,0 +1,79 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+
+void Log2Histogram::add(std::uint64_t value) {
+  const std::size_t index =
+      value <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  if (index >= buckets_.size()) {
+    buckets_.resize(index + 1, 0);
+  }
+  ++buckets_[index];
+  ++total_;
+}
+
+std::int64_t Log2Histogram::bucket(std::size_t index) const {
+  if (index >= buckets_.size()) return 0;
+  return buckets_[index];
+}
+
+std::string Log2Histogram::render(const std::string& unit) const {
+  std::ostringstream os;
+  const std::int64_t peak =
+      buckets_.empty() ? 1
+                       : std::max<std::int64_t>(
+                             1, *std::max_element(buckets_.begin(),
+                                                  buckets_.end()));
+  os << "      " << unit << "          : count   distribution\n";
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t lo = i == 0 ? 0 : (1ull << i);
+    const std::uint64_t hi = (1ull << (i + 1)) - 1;
+    const int bar = static_cast<int>(40.0 * static_cast<double>(buckets_[i]) /
+                                     static_cast<double>(peak));
+    os << std::string(6, ' ') << lo << " -> " << hi << " : " << buckets_[i]
+       << " |" << std::string(static_cast<std::size_t>(bar), '*') << "|\n";
+  }
+  return os.str();
+}
+
+LinearHistogram::LinearHistogram(double width, std::size_t max_buckets)
+    : width_(width), buckets_(max_buckets, 0) {
+  PINSIM_CHECK(width > 0.0);
+  PINSIM_CHECK(max_buckets > 0);
+}
+
+void LinearHistogram::add(double value) {
+  PINSIM_CHECK(value >= 0.0);
+  std::size_t index = static_cast<std::size_t>(value / width_);
+  index = std::min(index, buckets_.size() - 1);
+  ++buckets_[index];
+  ++total_;
+}
+
+double LinearHistogram::quantile(double q) const {
+  PINSIM_CHECK(q > 0.0 && q < 1.0);
+  PINSIM_CHECK(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double inside = buckets_[i] == 0
+                                ? 0.0
+                                : (target - cumulative) /
+                                      static_cast<double>(buckets_[i]);
+      return (static_cast<double>(i) + inside) * width_;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(buckets_.size()) * width_;
+}
+
+}  // namespace pinsim::stats

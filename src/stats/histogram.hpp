@@ -1,0 +1,53 @@
+// Histograms in the style of the BCC tracing tools.
+//
+// `Log2Histogram` mirrors the power-of-two bucket layout of `cpudist` /
+// `offcputime` from the BPF Compiler Collection the paper used for kernel
+// tracing: the tests and the trace module use it to inspect on-CPU slice
+// and off-CPU wait distributions. `LinearHistogram` backs response-time
+// percentiles in the web/NoSQL benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinsim::stats {
+
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::int64_t count() const { return total_; }
+  /// Number of samples in the bucket [2^i, 2^(i+1)); bucket 0 holds 0..1.
+  std::int64_t bucket(std::size_t index) const;
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Render the familiar BCC-style ASCII distribution.
+  std::string render(const std::string& unit) const;
+
+ private:
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+};
+
+class LinearHistogram {
+ public:
+  /// `width` is the bucket width; values >= width * max_buckets clamp to
+  /// the final bucket.
+  LinearHistogram(double width, std::size_t max_buckets);
+
+  void add(double value);
+
+  std::int64_t count() const { return total_; }
+
+  /// Approximate p-quantile (0 < q < 1) by linear interpolation within
+  /// the containing bucket.
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace pinsim::stats

@@ -1,0 +1,43 @@
+#include "stats/series.hpp"
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+
+void Series::set(std::size_t x_index, Interval value) {
+  if (x_index >= points_.size()) {
+    points_.resize(x_index + 1);
+  }
+  points_[x_index].value = value;
+  points_[x_index].present = true;
+}
+
+std::optional<Interval> Series::at(std::size_t x_index) const {
+  if (x_index >= points_.size() || !points_[x_index].present) {
+    return std::nullopt;
+  }
+  return points_[x_index].value;
+}
+
+Series& Figure::add_series(const std::string& name) {
+  PINSIM_CHECK_MSG(find_series(name) == nullptr,
+                   "duplicate series '" << name << "'");
+  series_.emplace_back(name);
+  return series_.back();
+}
+
+const Series* Figure::find_series(const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+Series* Figure::mutable_series(const std::string& name) {
+  for (auto& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace pinsim::stats

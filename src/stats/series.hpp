@@ -1,0 +1,59 @@
+// Figure data model.
+//
+// A `Figure` is a set of named series sampled at shared x-axis labels —
+// exactly the structure of the paper's Figures 3–8 (execution time per
+// platform configuration across instance types). The bench binaries fill
+// one of these and hand it to the renderer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace pinsim::stats {
+
+struct Point {
+  Interval value;
+  bool present = false;  // Paper omits some cells (e.g. Cassandra/Large).
+};
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void set(std::size_t x_index, Interval value);
+  std::optional<Interval> at(std::size_t x_index) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+class Figure {
+ public:
+  Figure(std::string title, std::vector<std::string> x_labels)
+      : title_(std::move(title)), x_labels_(std::move(x_labels)) {
+    // Keep add_series() return references stable for typical figures.
+    series_.reserve(16);
+  }
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& x_labels() const { return x_labels_; }
+
+  Series& add_series(const std::string& name);
+  const std::vector<Series>& series() const { return series_; }
+  const Series* find_series(const std::string& name) const;
+  /// Mutable lookup for incremental figure assembly.
+  Series* mutable_series(const std::string& name);
+
+ private:
+  std::string title_;
+  std::vector<std::string> x_labels_;
+  std::vector<Series> series_;
+};
+
+}  // namespace pinsim::stats

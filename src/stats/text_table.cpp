@@ -1,0 +1,125 @@
+#include "stats/text_table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PINSIM_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PINSIM_CHECK_MSG(cells.size() == header_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_interval(const Interval& iv, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << iv.mean;
+  if (iv.half_width > 0.0) {
+    os << " ±" << std::setprecision(precision) << iv.half_width;
+  }
+  return os.str();
+}
+
+TextTable figure_table(const Figure& figure, int precision) {
+  std::vector<std::string> header;
+  header.push_back("instance");
+  for (const auto& s : figure.series()) header.push_back(s.name());
+  TextTable table(std::move(header));
+  for (std::size_t x = 0; x < figure.x_labels().size(); ++x) {
+    std::vector<std::string> row;
+    row.push_back(figure.x_labels()[x]);
+    for (const auto& s : figure.series()) {
+      const auto point = s.at(x);
+      row.push_back(point.has_value() ? format_interval(*point, precision)
+                                      : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string figure_bars(const Figure& figure, int width) {
+  PINSIM_CHECK(width > 0);
+  double peak = 0.0;
+  for (const auto& s : figure.series()) {
+    for (std::size_t x = 0; x < figure.x_labels().size(); ++x) {
+      if (auto p = s.at(x)) peak = std::max(peak, p->mean);
+    }
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::size_t name_width = 0;
+  for (const auto& s : figure.series()) {
+    name_width = std::max(name_width, s.name().size());
+  }
+
+  std::ostringstream os;
+  os << figure.title() << '\n';
+  for (std::size_t x = 0; x < figure.x_labels().size(); ++x) {
+    os << figure.x_labels()[x] << ":\n";
+    for (const auto& s : figure.series()) {
+      const auto point = s.at(x);
+      os << "  " << std::left
+         << std::setw(static_cast<int>(name_width) + 1) << s.name() << ' ';
+      if (!point.has_value()) {
+        os << "(n/a)\n";
+        continue;
+      }
+      const int bar = static_cast<int>(static_cast<double>(width) *
+                                       point->mean / peak);
+      os << '|' << std::string(static_cast<std::size_t>(std::max(bar, 0)), '#')
+         << "| " << std::fixed << std::setprecision(2) << point->mean << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pinsim::stats

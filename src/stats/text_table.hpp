@@ -1,0 +1,42 @@
+// Plain-text table rendering for bench output.
+//
+// Benches print the paper's figures as aligned tables plus CSV blocks so
+// results are both human-readable and machine-extractable from the
+// captured bench logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/series.hpp"
+
+namespace pinsim::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (no alignment padding).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format `value ± half_width` with sensible precision.
+std::string format_interval(const Interval& iv, int precision = 2);
+
+/// Render a Figure as a table: one row per x label, one column per series.
+TextTable figure_table(const Figure& figure, int precision = 2);
+
+/// Horizontal ASCII bar chart of a figure (one block per x-label), giving
+/// a quick visual check that the *shape* matches the paper's plot.
+std::string figure_bars(const Figure& figure, int width = 48);
+
+}  // namespace pinsim::stats

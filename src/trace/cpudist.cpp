@@ -1,0 +1,17 @@
+#include "trace/cpudist.hpp"
+
+namespace pinsim::trace {
+
+void CpuDist::on_slice(const os::Task&, int, SimDuration duration) {
+  const auto us = static_cast<std::uint64_t>(duration / 1000);
+  histogram_.add(us);
+  total_us_ += static_cast<std::int64_t>(us);
+}
+
+double CpuDist::mean_slice_us() const {
+  if (histogram_.count() == 0) return 0.0;
+  return static_cast<double>(total_us_) /
+         static_cast<double>(histogram_.count());
+}
+
+}  // namespace pinsim::trace

@@ -1,0 +1,29 @@
+// cpudist — on-CPU slice distribution, after the BCC tool of the same
+// name the paper used ("we used cpudist and offcputime to monitor and
+// profile the instantaneous status of the processes in the OS
+// scheduler"). Attach to a kernel as a SchedObserver; render the familiar
+// power-of-two microsecond histogram.
+#pragma once
+
+#include <string>
+
+#include "os/observer.hpp"
+#include "stats/histogram.hpp"
+
+namespace pinsim::trace {
+
+class CpuDist final : public os::SchedObserver {
+ public:
+  void on_slice(const os::Task& task, int cpu,
+                SimDuration duration) override;
+
+  const stats::Log2Histogram& histogram() const { return histogram_; }
+  std::string render() const { return histogram_.render("usecs"); }
+  double mean_slice_us() const;
+
+ private:
+  stats::Log2Histogram histogram_;
+  std::int64_t total_us_ = 0;
+};
+
+}  // namespace pinsim::trace

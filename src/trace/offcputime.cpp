@@ -1,0 +1,10 @@
+#include "trace/offcputime.hpp"
+
+namespace pinsim::trace {
+
+void OffCpuTime::off_cpu(const os::Task&, SimDuration blocked) {
+  histogram_.add(static_cast<std::uint64_t>(blocked / 1000));
+  total_seconds_ += to_seconds(blocked);
+}
+
+}  // namespace pinsim::trace

@@ -1,0 +1,25 @@
+// offcputime — blocked-time distribution, after the BCC tool the paper
+// used to see where processes wait (IO, messages, throttling).
+#pragma once
+
+#include <string>
+
+#include "os/observer.hpp"
+#include "stats/histogram.hpp"
+
+namespace pinsim::trace {
+
+class OffCpuTime final : public os::SchedObserver {
+ public:
+  void off_cpu(const os::Task& task, SimDuration blocked) override;
+
+  const stats::Log2Histogram& histogram() const { return histogram_; }
+  std::string render() const { return histogram_.render("usecs"); }
+  double total_blocked_seconds() const { return total_seconds_; }
+
+ private:
+  stats::Log2Histogram histogram_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace pinsim::trace

@@ -1,0 +1,51 @@
+#include "trace/sched_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pinsim::trace {
+
+void SchedStats::on_migration(const os::Task&, int from, int to,
+                              SimDuration penalty) {
+  switch (topology_->distance(from, to)) {
+    case hw::CpuDistance::SameCpu:
+      break;
+    case hw::CpuDistance::SmtSibling:
+      ++migrations_smt_;
+      break;
+    case hw::CpuDistance::SameSocket:
+      ++migrations_same_socket_;
+      break;
+    case hw::CpuDistance::CrossSocket:
+      ++migrations_cross_socket_;
+      break;
+  }
+  penalty_seconds_ += to_seconds(penalty);
+}
+
+void SchedStats::on_context_switch(int) { ++context_switches_; }
+
+void SchedStats::on_irq(int) { ++irqs_; }
+
+void SchedStats::on_throttle(const os::Cgroup&) { ++throttles_; }
+
+void SchedStats::on_aggregation(const os::Cgroup&, int spread,
+                                SimDuration cost) {
+  ++aggregations_;
+  aggregation_seconds_ += to_seconds(cost);
+  max_spread_ = std::max(max_spread_, spread);
+}
+
+std::string SchedStats::summary() const {
+  std::ostringstream os;
+  os << "context switches: " << context_switches_
+     << ", irqs: " << irqs_ << ", migrations (smt/socket/cross): "
+     << migrations_smt_ << "/" << migrations_same_socket_ << "/"
+     << migrations_cross_socket_ << " (penalty " << penalty_seconds_
+     << " s), throttles: " << throttles_
+     << ", aggregations: " << aggregations_ << " (cost "
+     << aggregation_seconds_ << " s, max spread " << max_spread_ << ")";
+  return os.str();
+}
+
+}  // namespace pinsim::trace

@@ -1,0 +1,59 @@
+// Scheduler event counters with topology-aware migration breakdown —
+// the perf-style counters the cross-application analysis (paper §IV)
+// reasons about: migrations by distance, context switches, IRQs,
+// throttles, and aggregation stalls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/topology.hpp"
+#include "os/observer.hpp"
+
+namespace pinsim::trace {
+
+class SchedStats final : public os::SchedObserver {
+ public:
+  explicit SchedStats(const hw::Topology& topology)
+      : topology_(&topology) {}
+
+  void on_migration(const os::Task& task, int from, int to,
+                    SimDuration penalty) override;
+  void on_context_switch(int cpu) override;
+  void on_irq(int cpu) override;
+  void on_throttle(const os::Cgroup& group) override;
+  void on_aggregation(const os::Cgroup& group, int spread,
+                      SimDuration cost) override;
+
+  std::int64_t context_switches() const { return context_switches_; }
+  std::int64_t irqs() const { return irqs_; }
+  std::int64_t throttles() const { return throttles_; }
+  std::int64_t aggregations() const { return aggregations_; }
+  std::int64_t migrations_smt() const { return migrations_smt_; }
+  std::int64_t migrations_same_socket() const {
+    return migrations_same_socket_;
+  }
+  std::int64_t migrations_cross_socket() const {
+    return migrations_cross_socket_;
+  }
+  double migration_penalty_seconds() const { return penalty_seconds_; }
+  double aggregation_cost_seconds() const { return aggregation_seconds_; }
+  int max_aggregation_spread() const { return max_spread_; }
+
+  std::string summary() const;
+
+ private:
+  const hw::Topology* topology_;
+  std::int64_t context_switches_ = 0;
+  std::int64_t irqs_ = 0;
+  std::int64_t throttles_ = 0;
+  std::int64_t aggregations_ = 0;
+  std::int64_t migrations_smt_ = 0;
+  std::int64_t migrations_same_socket_ = 0;
+  std::int64_t migrations_cross_socket_ = 0;
+  double penalty_seconds_ = 0.0;
+  double aggregation_seconds_ = 0.0;
+  int max_spread_ = 0;
+};
+
+}  // namespace pinsim::trace

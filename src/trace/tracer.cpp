@@ -1,0 +1,27 @@
+#include "trace/tracer.hpp"
+
+#include <sstream>
+
+namespace pinsim::trace {
+
+TraceSession::TraceSession(os::Kernel& kernel)
+    : sched_(kernel.topology()) {
+  kernel.add_observer(cpudist_);
+  kernel.add_observer(offcputime_);
+  kernel.add_observer(sched_);
+}
+
+std::string TraceSession::report() const {
+  std::ostringstream os;
+  os << "== cpudist (on-cpu slices) ==\n"
+     << cpudist_.render() << "mean slice: " << cpudist_.mean_slice_us()
+     << " us\n\n"
+     << "== offcputime (blocked) ==\n"
+     << offcputime_.render() << "total blocked: "
+     << offcputime_.total_blocked_seconds() << " s\n\n"
+     << "== sched counters ==\n"
+     << sched_.summary() << '\n';
+  return os.str();
+}
+
+}  // namespace pinsim::trace

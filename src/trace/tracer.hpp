@@ -1,0 +1,32 @@
+// TraceSession: one-call attachment of the full BCC-style tool set
+// (cpudist, offcputime, sched counters) to a simulated kernel.
+#pragma once
+
+#include <string>
+
+#include "os/kernel.hpp"
+#include "trace/cpudist.hpp"
+#include "trace/offcputime.hpp"
+#include "trace/sched_stats.hpp"
+
+namespace pinsim::trace {
+
+class TraceSession {
+ public:
+  /// Attaches all observers; the session must outlive the kernel's runs.
+  explicit TraceSession(os::Kernel& kernel);
+
+  const CpuDist& cpudist() const { return cpudist_; }
+  const OffCpuTime& offcputime() const { return offcputime_; }
+  const SchedStats& sched() const { return sched_; }
+
+  /// Render a full profiling report.
+  std::string report() const;
+
+ private:
+  CpuDist cpudist_;
+  OffCpuTime offcputime_;
+  SchedStats sched_;
+};
+
+}  // namespace pinsim::trace

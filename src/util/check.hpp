@@ -1,0 +1,47 @@
+// Invariant checking for the simulator.
+//
+// Simulation bugs (a task on a core outside its affinity, a negative
+// runtime grant, an event scheduled in the past) must fail loudly and
+// immediately: silently mis-simulated physics would corrupt every figure
+// downstream. PINSIM_CHECK is therefore active in all build types.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pinsim {
+
+/// Thrown when an internal simulator invariant is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace pinsim
+
+#define PINSIM_CHECK(expr)                                       \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::pinsim::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                            \
+  } while (false)
+
+#define PINSIM_CHECK_MSG(expr, msg)                              \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream pinsim_check_os;                        \
+      pinsim_check_os << msg;                                    \
+      ::pinsim::check_failed(#expr, __FILE__, __LINE__,          \
+                             pinsim_check_os.str());             \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace pinsim {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+bool Log::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[" << to_string(level) << "] " << message << '\n';
+}
+
+void Log::set_sink(std::ostream* sink) { g_sink = sink; }
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "trace";
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace pinsim

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so logging needs no
+// synchronization. Verbosity defaults to Warn so that test and bench
+// output stays clean; debugging a scheduler decision trail is a matter of
+// `Log::set_level(LogLevel::Trace)`.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace pinsim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Returns true when messages at `level` would be emitted.
+  static bool enabled(LogLevel level);
+
+  /// Emit a single log line; used through the PINSIM_LOG macro.
+  static void write(LogLevel level, const std::string& message);
+
+  /// Redirect output (tests capture log lines this way). Pass nullptr to
+  /// restore the default stream (stderr).
+  static void set_sink(std::ostream* sink);
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace pinsim
+
+#define PINSIM_LOG(level, expr)                                \
+  do {                                                         \
+    if (::pinsim::Log::enabled(level)) {                       \
+      std::ostringstream pinsim_log_os;                        \
+      pinsim_log_os << expr;                                   \
+      ::pinsim::Log::write(level, pinsim_log_os.str());        \
+    }                                                          \
+  } while (false)
+
+#define PINSIM_TRACE(expr) PINSIM_LOG(::pinsim::LogLevel::Trace, expr)
+#define PINSIM_DEBUG(expr) PINSIM_LOG(::pinsim::LogLevel::Debug, expr)
+#define PINSIM_INFO(expr) PINSIM_LOG(::pinsim::LogLevel::Info, expr)
+#define PINSIM_WARN(expr) PINSIM_LOG(::pinsim::LogLevel::Warn, expr)
+#define PINSIM_ERROR(expr) PINSIM_LOG(::pinsim::LogLevel::Error, expr)

@@ -1,0 +1,48 @@
+// Strongly-suggestive time units for the simulation clock.
+//
+// All simulated time is carried as a signed 64-bit count of nanoseconds
+// (`SimTime`). 2^63 ns is ~292 years, far beyond any experiment horizon.
+// Helper factory functions keep call sites readable and conversion-safe:
+// `5 * kMilli` style arithmetic is deliberately avoided in favour of
+// `msec(5)`.
+#pragma once
+
+#include <cstdint>
+
+namespace pinsim {
+
+/// Simulated time in nanoseconds since the start of the simulation.
+using SimTime = std::int64_t;
+
+/// Simulated duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration nsec(std::int64_t n) { return n; }
+constexpr SimDuration usec(std::int64_t n) { return n * 1'000; }
+constexpr SimDuration msec(std::int64_t n) { return n * 1'000'000; }
+constexpr SimDuration sec(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Fractional-second constructors used by workload definitions.
+constexpr SimDuration usec_f(double n) {
+  return static_cast<SimDuration>(n * 1e3);
+}
+constexpr SimDuration msec_f(double n) {
+  return static_cast<SimDuration>(n * 1e6);
+}
+constexpr SimDuration sec_f(double n) {
+  return static_cast<SimDuration>(n * 1e9);
+}
+
+/// Convert a simulated duration back to floating-point seconds for
+/// reporting. Statistics and figures are rendered in seconds, matching
+/// the paper's axes.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// Convert to floating-point milliseconds (used by latency histograms).
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace pinsim

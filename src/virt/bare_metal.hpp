@@ -1,0 +1,26 @@
+// Bare-metal execution platform.
+//
+// The paper models a bare-metal "instance" by booting the host with a
+// limited number of cores (GRUB maxcpus); here the Host is simply built
+// from `Topology::limited_to(cores)`. Tasks run directly on the host
+// kernel with no cgroup and full affinity.
+#pragma once
+
+#include "virt/platform.hpp"
+
+namespace pinsim::virt {
+
+class BareMetalPlatform final : public Platform {
+ public:
+  /// `host` must already be sized to the instance (limited topology);
+  /// the constructor checks this.
+  BareMetalPlatform(Host& host, PlatformSpec spec);
+
+  os::Task& spawn(WorkTaskConfig config,
+                  std::unique_ptr<os::TaskDriver> driver) override;
+  void start(os::Task& task) override;
+  void post(os::Task& task, int count) override;
+  int visible_cpus() const override;
+};
+
+}  // namespace pinsim::virt

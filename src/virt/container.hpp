@@ -1,0 +1,32 @@
+// Docker-style container platform (CN).
+//
+// Per the paper (§II-C): a container is the coupling of a namespace and a
+// cgroup; its tasks are native host tasks. The platform therefore spawns
+// workload tasks directly into the host kernel, wrapped in a cgroup whose
+// quota is `cores × period` (docker --cpus). In vanilla mode the tasks
+// float over all host cpus; in pinned mode the cgroup carries a compact
+// cpuset (docker --cpuset-cpus) and tasks wake sticky.
+#pragma once
+
+#include "os/cgroup.hpp"
+#include "virt/platform.hpp"
+
+namespace pinsim::virt {
+
+class ContainerPlatform final : public Platform {
+ public:
+  ContainerPlatform(Host& host, PlatformSpec spec);
+
+  os::Task& spawn(WorkTaskConfig config,
+                  std::unique_ptr<os::TaskDriver> driver) override;
+  void start(os::Task& task) override;
+  void post(os::Task& task, int count) override;
+  int visible_cpus() const override;
+
+  const os::Cgroup& cgroup() const { return *cgroup_; }
+
+ private:
+  os::Cgroup* cgroup_;
+};
+
+}  // namespace pinsim::virt

@@ -1,0 +1,24 @@
+// Platform factory: the entry point experiments use.
+#pragma once
+
+#include <memory>
+
+#include "virt/platform.hpp"
+
+namespace pinsim::virt {
+
+/// The host topology a run of `spec` needs: virtualized platforms run on
+/// the full host; a bare-metal instance is the host GRUB-limited to the
+/// instance's cores.
+hw::Topology host_topology_for(const PlatformSpec& spec,
+                               const hw::Topology& full_host);
+
+/// Instantiate the platform described by `spec` on `host` (whose
+/// topology must match host_topology_for).
+std::unique_ptr<Platform> make_platform(Host& host, const PlatformSpec& spec);
+
+/// The seven series of the paper's figures, in legend order:
+/// Vanilla/Pinned VM, Vanilla/Pinned VMCN, Vanilla/Pinned CN, Vanilla BM.
+std::vector<PlatformSpec> paper_series(const InstanceType& instance);
+
+}  // namespace pinsim::virt

@@ -1,0 +1,637 @@
+#include "virt/guest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "virt/platform.hpp"
+
+namespace pinsim::virt {
+
+GuestKernel::GuestKernel(Host& host, Config config)
+    : host_(&host),
+      config_(config),
+      rng_(host.fork_rng()),
+      vcpus_(static_cast<std::size_t>(config.vcpus)) {
+  PINSIM_CHECK(config.vcpus >= 1);
+  PINSIM_CHECK(config.vcpus <= hw::CpuSet::kMaxCpus);
+  PINSIM_CHECK(config.compute_inflation >= 1.0);
+  PINSIM_CHECK(config.burst_cap > 0);
+}
+
+void GuestKernel::attach_vcpu_task(int vcpu, os::Task& host_task) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  PINSIM_CHECK(v.host_task == nullptr);
+  v.host_task = &host_task;
+}
+
+os::Cgroup& GuestKernel::create_cgroup(os::Cgroup::Config config) {
+  if (!config.cpuset.empty()) {
+    PINSIM_CHECK_MSG(config.cpuset.subset_of(hw::CpuSet::first_n(vcpus())),
+                     "guest cgroup cpuset outside vCPU range");
+  }
+  cgroups_.push_back(
+      std::make_unique<os::Cgroup>(std::move(config), host_->costs()));
+  return *cgroups_.back();
+}
+
+os::Task& GuestKernel::create_task(std::string name,
+                                   std::unique_ptr<os::TaskDriver> driver,
+                                   os::TaskConfig config) {
+  const os::Task::Id id = static_cast<os::Task::Id>(tasks_.size());
+  tasks_.push_back(
+      std::make_unique<os::Task>(id, std::move(name), std::move(driver)));
+  os::Task& task = *tasks_.back();
+  task.affinity = config.affinity;  // over vCPU ids
+  if (!task.affinity.empty()) {
+    PINSIM_CHECK_MSG(
+        !(task.affinity & hw::CpuSet::first_n(vcpus())).empty(),
+        "guest task affinity disjoint from vCPUs");
+  }
+  task.weight = config.weight;
+  task.working_set_mb = config.working_set_mb;
+  // The platform layer folds the hypervisor's inflation into the task
+  // configuration (scaled by workload sensitivity).
+  task.compute_inflation = config.compute_inflation;
+  if (config.cgroup != nullptr) {
+    config.cgroup->add_member(task);
+  }
+  on_exit_.push_back(std::move(config.on_exit));
+  return task;
+}
+
+void GuestKernel::start_task(os::Task& task) {
+  PINSIM_CHECK(task.state == os::TaskState::Created);
+  ++live_tasks_;
+  task.stats.started_at = host_->engine().now();
+  task.overhead_debt += host_->costs().sched_pick;
+  ensure_housekeeping();
+  const int vcpu = place_task(task);
+  task.vruntime = vcpus_[static_cast<std::size_t>(vcpu)].rq.min_vruntime();
+  enqueue_task(task, vcpu);
+}
+
+void GuestKernel::post_external(os::Task& task, int count) {
+  PINSIM_CHECK(count >= 1);
+  task.pending_msgs += count;
+  if (task.state == os::TaskState::Blocked && task.recv_waiting) {
+    task.recv_waiting = false;
+    --task.pending_msgs;
+    // Network packet into the guest: one injection (vmexit path) plus
+    // the guest-side wake chain.
+    wake(task, host_->costs().kernel_entry);
+  }
+}
+
+void GuestKernel::wake(os::Task& task, SimDuration extra_debt) {
+  PINSIM_CHECK_MSG(task.state == os::TaskState::Blocked,
+                   "guest wake of non-blocked task " << task.name());
+  const SimTime now = host_->engine().now();
+  task.stats.block_time += now - task.blocked_at;
+  ++task.stats.wakeups;
+  task.overhead_debt +=
+      host_->costs().sched_pick + host_->costs().kernel_entry + extra_debt;
+  const int vcpu = place_task(task);
+  if (config_.params.sleeper_credit) {
+    task.vruntime =
+        std::max(task.vruntime,
+                 vcpus_[static_cast<std::size_t>(vcpu)].rq.min_vruntime() -
+                     config_.params.sched_latency);
+  }
+  enqueue_task(task, vcpu);
+}
+
+// --- scheduling --------------------------------------------------------------
+
+hw::CpuSet GuestKernel::allowed_vcpus(const os::Task& task) const {
+  hw::CpuSet allowed = hw::CpuSet::first_n(vcpus());
+  if (!task.affinity.empty()) allowed = allowed & task.affinity;
+  if (task.cgroup != nullptr && !task.cgroup->cpuset().empty()) {
+    allowed = allowed & task.cgroup->cpuset();
+  }
+  PINSIM_CHECK(!allowed.empty());
+  return allowed;
+}
+
+int GuestKernel::place_task(os::Task& task) {
+  const hw::CpuSet allowed = allowed_vcpus(task);
+  const int prev = task.last_cpu;
+
+  if (task.sticky_wakeup && prev >= 0 && allowed.contains(prev)) {
+    return prev;
+  }
+  auto is_idle = [this](int vcpu) {
+    const auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+    return v.current == nullptr && v.rq.empty();
+  };
+  if (prev >= 0 && allowed.contains(prev) && is_idle(prev)) return prev;
+
+  std::vector<int> idle;
+  for (const int vcpu : allowed.to_vector()) {
+    if (is_idle(vcpu)) idle.push_back(vcpu);
+  }
+  if (!idle.empty()) {
+    return idle[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(idle.size()) - 1))];
+  }
+  int best_load = INT32_MAX;
+  std::vector<int> best;
+  for (const int vcpu : allowed.to_vector()) {
+    const auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+    const int load = v.rq.size() + (v.current != nullptr ? 1 : 0);
+    if (load < best_load) {
+      best_load = load;
+      best.clear();
+    }
+    if (load == best_load) best.push_back(vcpu);
+  }
+  return best[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1))];
+}
+
+void GuestKernel::enqueue_task(os::Task& task, int vcpu) {
+  if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) {
+    task.state = os::TaskState::Throttled;
+    task.cgroup->parked().push_back(&task);
+    return;
+  }
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  task.state = os::TaskState::Runnable;
+  task.enqueued_at = host_->engine().now();
+  task.queued_cpu = vcpu;
+  v.rq.enqueue(task);
+  if (v.halted) kick(vcpu);
+}
+
+void GuestKernel::kick(int vcpu) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  PINSIM_CHECK(v.host_task != nullptr);
+  ++stats_.kicks;
+  if (kick_via_irq_) {
+    // vhost completion: the host device interrupt lands on a steered
+    // (pinned) or round-robin (vanilla) cpu and pulls the vCPU there.
+    host_->kernel().post_external(*v.host_task);
+  } else {
+    // kvm_vcpu_kick: the IPI targets the pCPU the vCPU last ran on.
+    host_->kernel().post_local(*v.host_task);
+  }
+}
+
+os::Task* GuestKernel::pick_next(int vcpu) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  auto pop_usable = [this, vcpu](os::Runqueue& rq) -> os::Task* {
+    while (!rq.empty()) {
+      os::Task& candidate = rq.pop_min();
+      candidate.queued_cpu = -1;
+      if (candidate.cgroup != nullptr &&
+          candidate.cgroup->throttled_on(vcpu)) {
+        candidate.state = os::TaskState::Throttled;
+        candidate.cgroup->parked().push_back(&candidate);
+        continue;
+      }
+      return &candidate;
+    }
+    return nullptr;
+  };
+  if (os::Task* task = pop_usable(v.rq)) return task;
+
+  // Guest new-idle balance: steal the most-serviced compatible task from
+  // the busiest sibling vCPU.
+  int best_load = 0;
+  int victim = -1;
+  os::Task* candidate = nullptr;
+  for (int other = 0; other < vcpus(); ++other) {
+    if (other == vcpu) continue;
+    auto& rq = vcpus_[static_cast<std::size_t>(other)].rq;
+    if (rq.size() <= best_load) continue;
+    os::Task* found = nullptr;
+    rq.for_each([&](os::Task& task) {
+      if (!allowed_vcpus(task).contains(vcpu)) return;
+      if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) return;
+      found = &task;
+    });
+    if (found != nullptr) {
+      best_load = rq.size();
+      victim = other;
+      candidate = found;
+    }
+  }
+  if (candidate == nullptr) return nullptr;
+  auto& victim_rq = vcpus_[static_cast<std::size_t>(victim)].rq;
+  victim_rq.remove(*candidate);
+  candidate->vruntime = candidate->vruntime - victim_rq.min_vruntime() +
+                        v.rq.min_vruntime();
+  candidate->queued_cpu = -1;
+  return candidate;
+}
+
+SimDuration GuestKernel::slice_for(const VcpuState& v) const {
+  const int runnable = v.rq.size() + 1;
+  return std::max(config_.params.min_granularity,
+                  config_.params.sched_latency / runnable);
+}
+
+SimDuration GuestKernel::remaining_cost(const os::Task& task) const {
+  return task.overhead_debt + task.burst_remaining;
+}
+
+std::optional<SimDuration> GuestKernel::next_burst(int vcpu) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  PINSIM_CHECK_MSG(v.pending_guest == 0 && v.poll_pending == 0,
+                   "next_burst with grant outstanding on vcpu " << vcpu);
+  const auto& costs = host_->costs();
+
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (v.current == nullptr) {
+      os::Task* next = pick_next(vcpu);
+      if (next == nullptr) {
+        // Idle: burn the halt-poll budget (host cpu, no guest progress)
+        // before actually halting, like KVM's halt_poll_ns. Wakeups that
+        // land within the window are picked up at the next poll chunk
+        // without a kick.
+        if (v.poll_left > 0) {
+          const SimDuration chunk =
+              std::min(v.poll_left, costs.halt_poll_chunk);
+          v.poll_left -= chunk;
+          v.poll_pending = chunk;
+          return chunk;
+        }
+        v.halted = true;
+        ++stats_.halts;
+        return std::nullopt;
+      }
+      v.halted = false;
+      v.poll_left = costs.halt_poll;  // reset for the next idle episode
+      ++stats_.dispatches;
+      ++next->stats.context_switches;
+      next->overhead_debt +=
+          costs.context_switch + costs.guest_context_switch_extra;
+      if (next->last_cpu >= 0 && next->last_cpu != vcpu) {
+        ++stats_.guest_migrations;
+        ++next->stats.migrations;
+        // Moving between vCPUs refills the private cache of whatever
+        // host cpu backs them; charged at the flat guest rate.
+        next->overhead_debt += costs.guest_ipc;
+      }
+      next->stats.wait_time += host_->engine().now() - next->enqueued_at;
+      next->last_cpu = vcpu;
+      next->state = os::TaskState::Running;
+      v.current = next;
+      v.slice_used = 0;
+      v.slice_length = slice_for(v);
+    }
+    v.halted = false;
+
+    os::Task& task = *v.current;
+    if (remaining_cost(task) == 0) {
+      if (!advance_actions(vcpu, task)) {
+        v.current = nullptr;
+        continue;
+      }
+    }
+    if (v.slice_used >= v.slice_length) {
+      if (!v.rq.empty()) {
+        // Guest slice expired: preempt within the guest.
+        task.state = os::TaskState::Runnable;
+        task.enqueued_at = host_->engine().now();
+        task.queued_cpu = vcpu;
+        v.rq.enqueue(task);
+        v.current = nullptr;
+        continue;
+      }
+      v.slice_used = 0;
+      v.slice_length = slice_for(v);
+    }
+
+    SimDuration len = remaining_cost(task);
+    len = std::min(len, v.slice_length - v.slice_used);
+    len = std::min(len, config_.burst_cap);
+    if (task.cgroup != nullptr && task.cgroup->has_quota()) {
+      len = std::min(len, costs.cgroup_aggregate_interval);
+      len = std::min(len, task.cgroup->runtime_horizon(vcpu));
+    }
+    len = std::max<SimDuration>(len, 1);
+    v.pending_guest = len;
+    ++stats_.bursts;
+    // Timer-tick VM exits tax the grant proportionally.
+    const SimDuration tax = static_cast<SimDuration>(
+        static_cast<double>(len) * static_cast<double>(costs.vmexit) /
+        static_cast<double>(costs.guest_tick_period));
+    return len + tax;
+  }
+  PINSIM_CHECK_MSG(false, "guest scheduler spun on vcpu " << vcpu);
+  return std::nullopt;
+}
+
+void GuestKernel::complete_burst(int vcpu) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  if (v.poll_pending > 0) {
+    // A halt-poll chunk finished: host time passed, no guest progress.
+    v.poll_pending = 0;
+    return;
+  }
+  PINSIM_CHECK(v.pending_guest > 0);
+  os::Task* task = v.current;
+  PINSIM_CHECK(task != nullptr);
+  const SimDuration elapsed = v.pending_guest;
+  v.pending_guest = 0;
+  stats_.granted += elapsed;
+
+  const SimDuration paid = std::min(task->overhead_debt, elapsed);
+  task->overhead_debt -= paid;
+  task->stats.overhead_paid += paid;
+  const SimDuration worked = elapsed - paid;
+  if (worked > 0) {
+    PINSIM_CHECK_MSG(worked <= task->burst_remaining,
+                     "guest charged past burst end for " << task->name());
+    task->burst_remaining -= worked;
+    task->burst_consumed += worked;
+    task->stats.work_done = static_cast<SimDuration>(
+        std::llround(static_cast<double>(task->burst_consumed) /
+                     task->compute_inflation));
+  }
+  task->stats.cpu_time += elapsed;
+  task->vruntime += static_cast<SimDuration>(
+      static_cast<double>(elapsed) / task->weight);
+  v.slice_used += elapsed;
+
+  if (task->cgroup != nullptr) {
+    const SimDuration accounting = task->cgroup->charge(vcpu, elapsed);
+    if (accounting > 0) task->overhead_debt += accounting;
+    if (task->cgroup->throttled_on(vcpu)) {
+      ++stats_.throttle_events;
+      park(*task);
+      v.current = nullptr;
+    }
+  }
+}
+
+void GuestKernel::park(os::Task& task) {
+  task.state = os::TaskState::Throttled;
+  PINSIM_CHECK(task.cgroup != nullptr);
+  task.cgroup->parked().push_back(&task);
+}
+
+// --- action protocol ----------------------------------------------------------
+
+bool GuestKernel::advance_actions(int vcpu, os::Task& task) {
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  const auto& costs = host_->costs();
+  // Busy-polling receive (see os::Kernel::advance_actions).
+  if (task.spin_recv) {
+    if (task.pending_msgs == 0) {
+      task.overhead_debt += costs.spin_poll_chunk;
+      return true;
+    }
+    task.spin_recv = false;
+    --task.pending_msgs;
+  }
+  for (int guard = 0; guard < 100000; ++guard) {
+    const os::Action action = task.driver().next(task);
+    switch (action.kind) {
+      case os::Action::Kind::Compute: {
+        if (action.work == 0) continue;
+        task.burst_remaining = static_cast<SimDuration>(
+            static_cast<double>(action.work) * task.compute_inflation);
+        return true;
+      }
+      case os::Action::Kind::Post: {
+        PINSIM_CHECK(action.target != nullptr);
+        deliver(task, *action.target, action.count);
+        continue;
+      }
+      case os::Action::Kind::Recv: {
+        if (task.pending_msgs > 0) {
+          --task.pending_msgs;
+          continue;
+        }
+        if (action.spin) {
+          task.spin_recv = true;
+          task.overhead_debt += costs.spin_poll_chunk;
+          return true;
+        }
+        task.recv_waiting = true;
+        block_task(task);
+        return false;
+      }
+      case os::Action::Kind::Io: {
+        submit_io(task, action);
+        block_task(task);
+        return false;
+      }
+      case os::Action::Kind::Sleep: {
+        os::Task* sleeper = &task;
+        host_->engine().schedule(action.duration,
+                                 [this, sleeper] { wake(*sleeper, 0); });
+        block_task(task);
+        return false;
+      }
+      case os::Action::Kind::Exit: {
+        finish_task(task);
+        return false;
+      }
+    }
+  }
+  PINSIM_CHECK_MSG(false, "guest driver for " << task.name() << " spun");
+  (void)v;
+  (void)costs;
+  return false;
+}
+
+void GuestKernel::block_task(os::Task& task) {
+  PINSIM_CHECK(task.state == os::TaskState::Running);
+  task.state = os::TaskState::Blocked;
+  task.blocked_at = host_->engine().now();
+}
+
+void GuestKernel::finish_task(os::Task& task) {
+  PINSIM_CHECK(task.state == os::TaskState::Running);
+  task.state = os::TaskState::Finished;
+  task.stats.finished_at = host_->engine().now();
+  --live_tasks_;
+  auto& on_exit = on_exit_[static_cast<std::size_t>(task.id())];
+  if (on_exit) on_exit(task);
+}
+
+void GuestKernel::deliver(os::Task& from, os::Task& to, int count) {
+  PINSIM_CHECK(count >= 1);
+  from.stats.messages_sent += count;
+  // Intra-VM message: hypervisor shared memory, no host kernel on the
+  // path (paper §III-B2). An IPI exit is only needed when the target
+  // vCPU is halted.
+  from.overhead_debt += host_->costs().guest_ipc * count;
+  if (from.cgroup != nullptr && from.cgroup == to.cgroup) {
+    // Container-in-VM: the bridge path exists too, but entirely inside
+    // the guest (its softirq lands on the sender's own vCPU).
+    from.overhead_debt += host_->costs().container_net_msg * count;
+  }
+  to.pending_msgs += count;
+  if (to.state == os::TaskState::Blocked && to.recv_waiting) {
+    const int target = to.last_cpu >= 0 ? to.last_cpu : 0;
+    const bool target_halted =
+        vcpus_[static_cast<std::size_t>(target)].halted;
+    if (target_halted) from.overhead_debt += host_->costs().vmexit;
+    to.recv_waiting = false;
+    --to.pending_msgs;
+    wake(to, 0);
+  }
+}
+
+void GuestKernel::submit_io(os::Task& task, const os::Action& action) {
+  PINSIM_CHECK(action.device != nullptr);
+  task.io_active = true;
+  ++task.stats.io_ops;
+  ++stats_.io_exits;
+  // The IO exit runs on this vCPU: charge the hypervisor's exit cost to
+  // the vCPU's host task (paid out of its next host slice).
+  const int vcpu = task.last_cpu >= 0 ? task.last_cpu : 0;
+  auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+  if (v.host_task != nullptr) {
+    v.host_task->overhead_debt += host_->costs().vmexit;
+  }
+  os::Task* waiter = &task;
+  action.device->submit(action.request,
+                        [this, waiter] { io_complete(*waiter); },
+                        host_->costs().virtio_io_overhead);
+}
+
+void GuestKernel::io_complete(os::Task& task) {
+  // Virtio completion: host-side vhost interrupt (kick follows the IRQ
+  // path), then the injected guest interrupt and bottom half charged to
+  // the waking task.
+  kick_via_irq_ = true;
+  wake(task, host_->costs().irq_service + host_->costs().kernel_entry);
+  kick_via_irq_ = false;
+}
+
+// --- housekeeping (guest cgroups) ---------------------------------------------
+
+void GuestKernel::ensure_housekeeping() {
+  if (housekeeping_active_) return;
+  housekeeping_active_ = true;
+  cgroup_next_period_.resize(cgroups_.size(), host_->engine().now());
+  for (auto& next : cgroup_next_period_) {
+    next = std::max(next, host_->engine().now());
+  }
+  host_->engine().schedule(host_->costs().cgroup_aggregate_interval,
+                           [this] { housekeeping_tick(); });
+}
+
+void GuestKernel::balance_idle_vcpus() {
+  for (int vcpu = 0; vcpu < vcpus(); ++vcpu) {
+    auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+    if (!v.halted || !v.rq.empty()) continue;
+    // Busiest sibling runqueue with a stealable task.
+    int best_load = 1;  // steal only from vCPUs with waiting tasks
+    int victim = -1;
+    os::Task* candidate = nullptr;
+    for (int other = 0; other < vcpus(); ++other) {
+      if (other == vcpu) continue;
+      auto& rq = vcpus_[static_cast<std::size_t>(other)].rq;
+      if (rq.size() < best_load) continue;
+      os::Task* found = nullptr;
+      rq.for_each([&](os::Task& task) {
+        if (!allowed_vcpus(task).contains(vcpu)) return;
+        if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) return;
+        found = &task;
+      });
+      if (found != nullptr) {
+        best_load = rq.size() + 1;
+        victim = other;
+        candidate = found;
+      }
+    }
+    if (candidate == nullptr) continue;
+    auto& victim_rq = vcpus_[static_cast<std::size_t>(victim)].rq;
+    victim_rq.remove(*candidate);
+    candidate->vruntime = candidate->vruntime - victim_rq.min_vruntime() +
+                          v.rq.min_vruntime();
+    candidate->queued_cpu = vcpu;
+    ++stats_.guest_migrations;
+    candidate->overhead_debt += host_->costs().guest_ipc;
+    v.rq.enqueue(*candidate);
+    kick(vcpu);
+  }
+}
+
+void GuestKernel::rotate_surplus_task() {
+  int max_load = 0;
+  int min_load = INT32_MAX;
+  int busiest = -1;
+  int idlest = -1;
+  for (int vcpu = 0; vcpu < vcpus(); ++vcpu) {
+    const auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
+    const int load = v.rq.size() + (v.current != nullptr ? 1 : 0);
+    if (load > max_load) {
+      max_load = load;
+      busiest = vcpu;
+    }
+    if (load < min_load) {
+      min_load = load;
+      idlest = vcpu;
+    }
+  }
+  if (busiest < 0 || idlest < 0 || max_load - min_load < 1) return;
+  auto& from = vcpus_[static_cast<std::size_t>(busiest)];
+  if (from.rq.empty()) return;
+  os::Task* candidate = nullptr;
+  from.rq.for_each([&](os::Task& task) {
+    if (!allowed_vcpus(task).contains(idlest)) return;
+    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) return;
+    candidate = &task;
+  });
+  if (candidate == nullptr) return;
+  auto& to = vcpus_[static_cast<std::size_t>(idlest)];
+  from.rq.remove(*candidate);
+  candidate->vruntime = candidate->vruntime - from.rq.min_vruntime() +
+                        to.rq.min_vruntime();
+  candidate->queued_cpu = idlest;
+  candidate->overhead_debt += host_->costs().guest_ipc;
+  ++stats_.guest_migrations;
+  to.rq.enqueue(*candidate);
+  if (to.halted) kick(idlest);
+}
+
+void GuestKernel::housekeeping_tick() {
+  if (live_tasks_ == 0) {
+    housekeeping_active_ = false;
+    return;
+  }
+  balance_idle_vcpus();
+  if (++housekeeping_ticks_ % 8 == 0) rotate_surplus_task();
+  const auto& costs = host_->costs();
+  cgroup_next_period_.resize(cgroups_.size(), host_->engine().now());
+  for (std::size_t i = 0; i < cgroups_.size(); ++i) {
+    os::Cgroup& group = *cgroups_[i];
+    const SimDuration cost = group.aggregate();
+    if (cost > 0) {
+      // Charge the (inflated) kernel-space walk to the first running
+      // member; the whole group stalls behind the shared quota pool.
+      for (auto& v : vcpus_) {
+        if (v.current != nullptr && v.current->cgroup == &group) {
+          v.current->overhead_debt += static_cast<SimDuration>(
+              static_cast<double>(cost) * config_.compute_inflation);
+          break;
+        }
+      }
+    }
+    if (group.has_quota() && host_->engine().now() >= cgroup_next_period_[i]) {
+      const bool released = group.refill_period();
+      cgroup_next_period_[i] = host_->engine().now() + costs.cfs_period;
+      if (released) {
+        ++stats_.unthrottle_events;
+        std::vector<os::Task*> parked;
+        parked.swap(group.parked());
+        for (os::Task* task : parked) {
+          PINSIM_CHECK(task->state == os::TaskState::Throttled);
+          task->overhead_debt += costs.sched_pick;
+          enqueue_task(*task, place_task(*task));
+        }
+      }
+    }
+  }
+  host_->engine().schedule(costs.cgroup_aggregate_interval,
+                           [this] { housekeeping_tick(); });
+}
+
+}  // namespace pinsim::virt

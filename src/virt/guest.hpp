@@ -1,0 +1,168 @@
+// The guest kernel inside a simulated KVM virtual machine.
+//
+// A VM really is a set of host tasks (one per vCPU) from the host's point
+// of view — the paper leans on this repeatedly. GuestKernel is the other
+// half: a CFS-like scheduler over the guest's vCPUs whose cpu time only
+// advances when the host grants the corresponding vCPU task a slice.
+//
+// Execution protocol (driven by virt::Vm's vCPU task drivers):
+//   1. next_burst(vcpu) picks the next guest task for that vCPU and
+//      returns how long the vCPU should execute on the host — the guest
+//      mini-burst (bounded by the guest scheduling slice, the task's
+//      remaining action cost, and the guest cgroup's runtime horizon)
+//      plus the timer-tick VM-exit tax.
+//   2. The host schedules the vCPU task for that long (possibly
+//      preempted and resumed — the guest is simply frozen meanwhile).
+//   3. complete_burst(vcpu) charges the guest task, advances its action
+//      protocol (guest IO goes out through virtio; intra-guest messages
+//      are hypervisor-shared-memory cheap), and the cycle repeats. When
+//      no guest task is runnable the vCPU halts (HLT → host task blocks)
+//      until a wakeup kicks it.
+//
+// Guest wall-clock time equals host time (kvm-clock), so cgroup periods
+// and aggregation inside the guest run on host-engine events; only CPU
+// *progress* is grant-driven.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "os/cgroup.hpp"
+#include "os/kernel.hpp"
+#include "os/runqueue.hpp"
+#include "os/task.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::virt {
+
+class Host;
+
+struct GuestStats {
+  std::int64_t dispatches = 0;
+  std::int64_t guest_migrations = 0;
+  std::int64_t bursts = 0;
+  std::int64_t io_exits = 0;
+  std::int64_t kicks = 0;
+  std::int64_t halts = 0;
+  std::int64_t throttle_events = 0;
+  std::int64_t unthrottle_events = 0;
+  SimDuration granted = 0;  // host cpu time granted to guest work
+};
+
+class GuestKernel {
+ public:
+  struct Config {
+    int vcpus = 1;
+    /// Multiplier applied to guest user-mode compute (PTO).
+    double compute_inflation = 1.95;
+    /// Guest scheduler parameters.
+    os::SchedParams params;
+    /// Upper bound on one execution grant; keeps guest IO latency and
+    /// intra-guest wakeup latency at sub-slice granularity.
+    SimDuration burst_cap = msec(4);
+  };
+
+  GuestKernel(Host& host, Config config);
+
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+
+  // --- vCPU driver interface ------------------------------------------------
+  /// Host task that backs vCPU `vcpu`; must be attached before tasks run.
+  void attach_vcpu_task(int vcpu, os::Task& host_task);
+
+  /// Host-cpu duration of the next grant, or nullopt to halt (HLT).
+  std::optional<SimDuration> next_burst(int vcpu);
+
+  /// Apply the grant returned by the previous next_burst on this vcpu.
+  void complete_burst(int vcpu);
+
+  // --- guest task management ------------------------------------------------
+  os::Cgroup& create_cgroup(os::Cgroup::Config config);
+
+  os::Task& create_task(std::string name,
+                        std::unique_ptr<os::TaskDriver> driver,
+                        os::TaskConfig config = {});
+
+  void start_task(os::Task& task);
+
+  /// External message into the guest (load generator via virtual NIC).
+  void post_external(os::Task& task, int count = 1);
+
+  /// Wake a blocked guest task (IO completion injection, sleeps).
+  void wake(os::Task& task, SimDuration extra_debt = 0);
+
+  int vcpus() const { return static_cast<int>(vcpus_.size()); }
+  int live_tasks() const { return live_tasks_; }
+  const GuestStats& stats() const { return stats_; }
+  const std::vector<std::unique_ptr<os::Task>>& tasks() const {
+    return tasks_;
+  }
+
+ private:
+  struct VcpuState {
+    os::Runqueue rq;
+    os::Task* current = nullptr;
+    os::Task* host_task = nullptr;
+    bool halted = true;
+    SimDuration slice_used = 0;
+    SimDuration slice_length = 0;
+    /// Guest-time length of the outstanding grant (0 = none).
+    SimDuration pending_guest = 0;
+    /// Remaining halt-poll budget for the current idle episode.
+    SimDuration poll_left = 0;
+    /// Outstanding poll chunk (host time burning, no guest progress).
+    SimDuration poll_pending = 0;
+  };
+
+  bool advance_actions(int vcpu, os::Task& task);
+  void finish_task(os::Task& task);
+  void block_task(os::Task& task);
+  void deliver(os::Task& from, os::Task& to, int count);
+  void submit_io(os::Task& task, const os::Action& action);
+  void io_complete(os::Task& task);
+
+  os::Task* pick_next(int vcpu);
+  int place_task(os::Task& task);
+  void enqueue_task(os::Task& task, int vcpu);
+  void park(os::Task& task);
+  void kick(int vcpu);
+  /// True while the current wakeup originates from a host-side device
+  /// interrupt (vhost): the vCPU kick then follows the host IRQ path
+  /// (round-robin on vanilla VMs, steered on pinned ones).
+  bool kick_via_irq_ = false;
+
+  SimDuration slice_for(const VcpuState& v) const;
+  SimDuration remaining_cost(const os::Task& task) const;
+  hw::CpuSet allowed_vcpus(const os::Task& task) const;
+
+  void ensure_housekeeping();
+  void housekeeping_tick();
+  /// Guest periodic load balance: push queued work to halted vCPUs (the
+  /// guest's timer-tick balancing; without it an HLT'd vCPU would sleep
+  /// through imbalance forever).
+  void balance_idle_vcpus();
+  /// Fairness rotation: with a persistent 1-task surplus, migrate the
+  /// surplus periodically so every task gets a fair global share (what
+  /// CFS's load balancer achieves on real hardware).
+  void rotate_surplus_task();
+
+  Host* host_;
+  Config config_;
+  Rng rng_;
+  std::vector<VcpuState> vcpus_;
+  std::vector<std::unique_ptr<os::Task>> tasks_;
+  std::vector<std::function<void(os::Task&)>> on_exit_;
+  std::vector<std::unique_ptr<os::Cgroup>> cgroups_;
+  std::vector<SimTime> cgroup_next_period_;
+  bool housekeeping_active_ = false;
+  std::int64_t housekeeping_ticks_ = 0;
+  int live_tasks_ = 0;
+  GuestStats stats_;
+};
+
+}  // namespace pinsim::virt

@@ -1,0 +1,31 @@
+#include "virt/instance_type.hpp"
+
+#include "util/check.hpp"
+
+namespace pinsim::virt {
+
+const std::vector<InstanceType>& instance_catalog() {
+  static const std::vector<InstanceType> kCatalog = {
+      {"Large", 2, 8},      {"xLarge", 4, 16},    {"2xLarge", 8, 32},
+      {"4xLarge", 16, 64},  {"8xLarge", 32, 128}, {"16xLarge", 64, 256},
+  };
+  return kCatalog;
+}
+
+const InstanceType& instance_by_name(const std::string& name) {
+  for (const auto& type : instance_catalog()) {
+    if (type.name == name) return type;
+  }
+  PINSIM_CHECK_MSG(false, "unknown instance type '" << name << "'");
+  return instance_catalog().front();  // unreachable
+}
+
+const InstanceType& instance_by_cores(int cores) {
+  for (const auto& type : instance_catalog()) {
+    if (type.cores == cores) return type;
+  }
+  PINSIM_CHECK_MSG(false, "no instance type with " << cores << " cores");
+  return instance_catalog().front();  // unreachable
+}
+
+}  // namespace pinsim::virt

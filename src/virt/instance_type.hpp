@@ -1,0 +1,27 @@
+// Instance-type catalog (paper Table II).
+//
+// Every execution platform can be instantiated at any of these sizes; the
+// figures sweep them on the x axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pinsim::virt {
+
+struct InstanceType {
+  std::string name;
+  int cores = 0;
+  int memory_gb = 0;
+};
+
+/// Table II: Large (2 cores / 8 GB) through 16xLarge (64 cores / 256 GB).
+const std::vector<InstanceType>& instance_catalog();
+
+/// Lookup by name ("Large", "xLarge", "2xLarge", ...). Throws on unknown.
+const InstanceType& instance_by_name(const std::string& name);
+
+/// Lookup by core count. Throws on unknown.
+const InstanceType& instance_by_cores(int cores);
+
+}  // namespace pinsim::virt

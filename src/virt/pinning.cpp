@@ -1,0 +1,14 @@
+#include "virt/pinning.hpp"
+
+namespace pinsim::virt {
+
+hw::CpuSet pinned_cpuset(const hw::Topology& topology, int cores) {
+  return topology.compact_set(cores);
+}
+
+std::vector<hw::CpuId> pinned_vcpu_map(const hw::Topology& topology,
+                                       int vcpus) {
+  return topology.compact_set(vcpus).to_vector();
+}
+
+}  // namespace pinsim::virt

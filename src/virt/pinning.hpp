@@ -1,0 +1,21 @@
+// Pinning plans.
+//
+// How the pinned variants of each platform bind to host cpus. The paper's
+// pinning scripts allocate compact cpusets — whole physical cores, socket
+// by socket — so a pinned platform keeps its LLC locality, which is a
+// large part of why pinning helps.
+#pragma once
+
+#include "hw/cpuset.hpp"
+#include "hw/topology.hpp"
+
+namespace pinsim::virt {
+
+/// The cpuset a pinned container of `cores` cpus gets on `topology`.
+hw::CpuSet pinned_cpuset(const hw::Topology& topology, int cores);
+
+/// The 1:1 host-cpu assignment for the vCPUs of a pinned VM.
+std::vector<hw::CpuId> pinned_vcpu_map(const hw::Topology& topology,
+                                       int vcpus);
+
+}  // namespace pinsim::virt

@@ -1,0 +1,36 @@
+#include "virt/vm_container.hpp"
+
+#include "util/check.hpp"
+
+namespace pinsim::virt {
+
+VmContainerPlatform::VmContainerPlatform(Host& host, PlatformSpec spec,
+                                         VmConfig vm_config)
+    : VmPlatform(host, std::move(spec), vm_config) {
+  PINSIM_CHECK(spec_.kind == PlatformKind::VmContainer);
+  os::Cgroup::Config config;
+  config.name = "vmcn-" + spec_.instance.name;
+  // docker --cpus=<instance cores> inside the guest.
+  config.cpu_limit = static_cast<double>(spec_.instance.cores);
+  if (spec_.mode == CpuMode::Pinned) {
+    // --cpuset-cpus over the guest's vCPUs.
+    config.cpuset = hw::CpuSet::first_n(spec_.instance.cores);
+  }
+  guest_cgroup_ = &guest_.create_cgroup(std::move(config));
+}
+
+os::TaskConfig VmContainerPlatform::guest_task_config(
+    const WorkTaskConfig& config) {
+  os::TaskConfig task_config = VmPlatform::guest_task_config(config);
+  task_config.cgroup = guest_cgroup_;
+  return task_config;
+}
+
+os::Task& VmContainerPlatform::spawn(WorkTaskConfig config,
+                                     std::unique_ptr<os::TaskDriver> driver) {
+  os::Task& task = VmPlatform::spawn(std::move(config), std::move(driver));
+  task.sticky_wakeup = spec_.mode == CpuMode::Pinned;
+  return task;
+}
+
+}  // namespace pinsim::virt

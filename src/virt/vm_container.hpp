@@ -1,0 +1,32 @@
+// Container inside a VM (VMCN).
+//
+// The composition the paper highlights as under-studied: a Docker-style
+// cgroup *inside* the guest kernel of a KVM-style VM. Workload tasks pay
+// both the hypervisor's platform-type overhead and the guest-side cgroup
+// accounting. Pinned VMCN pins on both levels: vCPUs to host cpus (via
+// the base VmPlatform) and container tasks to vCPUs (guest cpuset +
+// sticky wakeups).
+#pragma once
+
+#include "os/cgroup.hpp"
+#include "virt/vm.hpp"
+
+namespace pinsim::virt {
+
+class VmContainerPlatform final : public VmPlatform {
+ public:
+  VmContainerPlatform(Host& host, PlatformSpec spec, VmConfig vm_config = {});
+
+  os::Task& spawn(WorkTaskConfig config,
+                  std::unique_ptr<os::TaskDriver> driver) override;
+
+  const os::Cgroup& guest_cgroup() const { return *guest_cgroup_; }
+
+ protected:
+  os::TaskConfig guest_task_config(const WorkTaskConfig& config) override;
+
+ private:
+  os::Cgroup* guest_cgroup_;
+};
+
+}  // namespace pinsim::virt

@@ -1,0 +1,173 @@
+#include "workload/cassandra.hpp"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pinsim::workload {
+
+namespace {
+
+/// Work queue shared between the stress generator and one server thread.
+struct OpQueue {
+  std::deque<SimTime> submit_times;
+  int assigned = 0;  // total ops this thread will ever receive
+};
+
+/// Read cache-hit probability given the instance's memory (first-order
+/// page/row-cache model: hit ratio ~ cached fraction of the hot set).
+double cache_hit_for(const CassandraConfig& config, int memory_gb) {
+  const double fraction =
+      static_cast<double>(memory_gb) / config.dataset_gb;
+  return std::min(config.cache_hit_cap, std::max(0.0, fraction));
+}
+
+/// One server thread: waits for an op, executes its compute/IO recipe,
+/// records the response time, and exits after serving its share.
+class ServerThreadDriver final : public os::TaskDriver {
+ public:
+  ServerThreadDriver(const CassandraConfig& config, double cache_hit,
+                     std::shared_ptr<OpQueue> queue,
+                     stats::Accumulator& responses, sim::Engine& engine,
+                     hw::IoDevice& disk, Rng rng)
+      : config_(&config),
+        cache_hit_(cache_hit),
+        queue_(std::move(queue)),
+        responses_(&responses),
+        engine_(&engine),
+        disk_(&disk),
+        rng_(rng) {}
+
+  os::Action next(os::Task&) override {
+    switch (stage_) {
+      case Stage::Idle: {
+        if (served_ >= queue_->assigned) return os::Action::exit();
+        stage_ = Stage::Parse;
+        return os::Action::recv();
+      }
+      case Stage::Parse: {
+        // The op is now in hand; front of the queue is its submit time.
+        PINSIM_CHECK(!queue_->submit_times.empty());
+        op_submitted_ = queue_->submit_times.front();
+        queue_->submit_times.pop_front();
+        is_write_ = rng_.chance(config_->write_fraction);
+        stage_ = Stage::MaybeIo;
+        return os::Action::compute(compute_slice(0.6));
+      }
+      case Stage::MaybeIo: {
+        stage_ = Stage::Finish;
+        if (is_write_) {
+          // Commit-log append (the write path always touches the log).
+          return os::Action::io(
+              *disk_, hw::IoRequest{hw::IoKind::Write, config_->commitlog_kb});
+        }
+        if (!rng_.chance(cache_hit_)) {
+          return os::Action::io(
+              *disk_, hw::IoRequest{hw::IoKind::Read, config_->read_kb});
+        }
+        // Cache hit: straight to the response.
+        return os::Action::compute(compute_slice(0.4));
+      }
+      case Stage::Finish: {
+        stage_ = Stage::Record;
+        return os::Action::compute(compute_slice(0.4));
+      }
+      case Stage::Record: {
+        responses_->add(to_seconds(engine_->now() - op_submitted_));
+        ++served_;
+        stage_ = Stage::Idle;
+        // Loop back without a scheduling artifact.
+        return os::Action::compute(0);
+      }
+    }
+    return os::Action::exit();
+  }
+
+ private:
+  enum class Stage { Idle, Parse, MaybeIo, Finish, Record };
+
+  SimDuration compute_slice(double share) {
+    const double ms = rng_.lognormal_from_moments(
+        config_->op_compute_ms * share,
+        config_->op_compute_jitter_ms * share);
+    return std::max<SimDuration>(msec_f(ms), 1);
+  }
+
+  const CassandraConfig* config_;
+  double cache_hit_;
+  std::shared_ptr<OpQueue> queue_;
+  stats::Accumulator* responses_;
+  sim::Engine* engine_;
+  hw::IoDevice* disk_;
+  Rng rng_;
+
+  Stage stage_ = Stage::Idle;
+  bool is_write_ = false;
+  SimTime op_submitted_ = 0;
+  int served_ = 0;
+};
+
+}  // namespace
+
+RunResult Cassandra::run(virt::Platform& platform, Rng rng) {
+  const SimTime start = platform.engine().now();
+  Completion completion(platform.engine());
+  auto responses = std::make_shared<stats::Accumulator>();
+
+  // Spawn the server's thread pool. One process, one JVM heap: all
+  // threads share a NUMA home.
+  auto numa_home = std::make_shared<int>(-1);
+  std::vector<std::shared_ptr<OpQueue>> queues;
+  std::vector<os::Task*> threads;
+  for (int t = 0; t < config_.server_threads; ++t) {
+    auto queue = std::make_shared<OpQueue>();
+    queue->assigned = config_.operations / config_.server_threads +
+                      (t < config_.operations % config_.server_threads ? 1 : 0);
+    queues.push_back(queue);
+    virt::WorkTaskConfig task_config;
+    task_config.name = "cass-worker" + std::to_string(t);
+    task_config.working_set_mb = config_.working_set_mb;
+    task_config.numa_home = numa_home;
+    task_config.guest_inflation_sensitivity =
+        config_.guest_inflation_sensitivity;
+    task_config.on_exit = completion.tracker(start);
+    completion.expect(1);
+    os::Task& task = platform.spawn(
+        std::move(task_config),
+        std::make_unique<ServerThreadDriver>(
+            config_, cache_hit_for(config_, platform.spec().instance.memory_gb),
+            queue, *responses, platform.engine(), platform.disk(),
+            rng.fork()));
+    threads.push_back(&task);
+  }
+  for (os::Task* thread : threads) platform.start(*thread);
+
+  // cassandra-stress: 1,000 ops within one second, round-robin over the
+  // "user" threads (each stress thread drives one connection).
+  for (int op = 0; op < config_.operations; ++op) {
+    const auto offset = static_cast<SimDuration>(
+        rng.next_double() * sec_f(config_.submit_seconds));
+    const int target = op % config_.server_threads;
+    auto* platform_ptr = &platform;
+    os::Task* task = threads[static_cast<std::size_t>(target)];
+    auto queue = queues[static_cast<std::size_t>(target)];
+    platform.engine().schedule(offset, [platform_ptr, task, queue] {
+      queue->submit_times.push_back(platform_ptr->engine().now());
+      platform_ptr->post(*task, 1);
+    });
+  }
+
+  run_to_completion(platform, completion, start + config_.horizon,
+                    "cassandra stress");
+
+  RunResult result;
+  result.wall_seconds = to_seconds(platform.engine().now() - start);
+  result.metric_seconds = responses->mean();
+  result.extras["ops"] = responses->count();
+  result.extras["max_response"] = responses->max();
+  return result;
+}
+
+}  // namespace pinsim::workload

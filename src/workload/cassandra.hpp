@@ -1,0 +1,60 @@
+// Apache Cassandra NoSQL workload (paper §III-B4, Figure 6).
+//
+// A single large IO-heavy server process: 100 worker threads (the
+// cassandra-stress client spawns "a set of 100 threads, each one
+// simulating one user") serving 1,000 synthesized operations submitted
+// within one second, 25% writes / 75% reads. Reads hit the row/page cache
+// with some probability and otherwise seek the RAID1 HDD array; writes
+// append to the commit log. The metric is the mean response time over
+// all operations.
+//
+// On the paper's Large instance the system thrashes and the result is
+// "out of range" — the figure bench reproduces that by skipping Large.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace pinsim::workload {
+
+struct CassandraConfig {
+  int operations = 1000;
+  int server_threads = 100;
+  /// Ops are submitted uniformly within this window.
+  double submit_seconds = 1.0;
+  double write_fraction = 0.25;
+  /// Per-op CPU work (deserialize, row merge, memtable update, GC and
+  /// compaction share) — one-core ms, log-normal jittered.
+  double op_compute_ms = 60.0;
+  double op_compute_jitter_ms = 20.0;
+  /// Hot dataset size. The read cache-hit probability is
+  /// min(instance memory / dataset, cache_hit_cap): small instances
+  /// (Table II scales memory with cores) miss constantly and hammer the
+  /// RAID1 HDDs; at 8x/16xLarge the dataset is fully cached, IO
+  /// vanishes, and CPU time dominates — which is why the paper sees
+  /// VM overhead grow at large sizes and the pinning benefit vanish.
+  double dataset_gb = 64.0;
+  double cache_hit_cap = 0.98;
+  double read_kb = 16.0;
+  double commitlog_kb = 32.0;
+  /// Hot heap slice per server thread.
+  double working_set_mb = 24.0;
+  /// Fraction of the hypervisor compute inflation that applies (the op
+  /// path is IO- and kernel-heavy).
+  double guest_inflation_sensitivity = 0.30;
+  /// Safety horizon.
+  SimTime horizon = sec(4800);
+};
+
+class Cassandra final : public Workload {
+ public:
+  explicit Cassandra(CassandraConfig config = {}) : config_(config) {}
+  std::string name() const override { return "cassandra"; }
+
+  /// Metric: mean response time (seconds) across all operations.
+  RunResult run(virt::Platform& platform, Rng rng) override;
+
+ private:
+  CassandraConfig config_;
+};
+
+}  // namespace pinsim::workload

@@ -1,0 +1,59 @@
+// MPI parallel-processing workloads (paper §III-B2, Figure 4).
+//
+// MPI Search (parallel integer search) and Prime MPI (parallel prime
+// counting), run with one rank per instance core. Both are iterative:
+// each iteration computes a shard of the search space and synchronizes —
+// modelled as a gather-to-root + broadcast round, so the communication
+// volume grows with the rank count while per-rank compute shrinks. That
+// is the regime the paper studies: "the communication part dominates the
+// computation part".
+//
+// Where each message travels is the platform-dependent part: on BM/CN the
+// host kernel mediates every wake (plus cgroup accounting for CN); inside
+// a VM the hypervisor's shared memory carries it without host
+// involvement. The paper's counterintuitive finding — containers are the
+// *worst* platform for MPI — falls out of exactly this difference.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace pinsim::workload {
+
+struct MpiConfig {
+  /// Synchronization rounds.
+  int iterations = 800;
+  /// Total one-core compute seconds, split over ranks and iterations.
+  double total_compute_seconds = 8.0;
+  /// Relative jitter on per-iteration compute (stragglers).
+  double jitter = 0.10;
+  /// Per-rank working set (search shard).
+  double working_set_mb = 8.0;
+  /// Safety horizon.
+  SimTime horizon = sec(2400);
+};
+
+class MpiSearch final : public Workload {
+ public:
+  explicit MpiSearch(MpiConfig config = {}) : config_(config) {}
+  std::string name() const override { return "mpi-search"; }
+  RunResult run(virt::Platform& platform, Rng rng) override;
+
+ private:
+  MpiConfig config_;
+};
+
+/// Prime MPI: same communication skeleton, compute-heavier shards (the
+/// paper reports results "alike" MPI Search; both are provided).
+class MpiPrime final : public Workload {
+ public:
+  explicit MpiPrime(MpiConfig config = prime_defaults());
+  std::string name() const override { return "mpi-prime"; }
+  RunResult run(virt::Platform& platform, Rng rng) override;
+
+  static MpiConfig prime_defaults();
+
+ private:
+  MpiConfig config_;
+};
+
+}  // namespace pinsim::workload

@@ -1,0 +1,50 @@
+// Application profiles (paper Table I) and measured characterization.
+//
+// Table I is the paper's taxonomy: FFmpeg = CPU-bound, Open MPI = HPC,
+// WordPress = IO-bound web, Cassandra = Big-Data NoSQL. The measured
+// characterization runs each workload model on a bare-metal instance and
+// reports where its tasks actually spend time (on-CPU vs blocked vs
+// runnable-waiting), verifying that the models have the advertised
+// character — the same sanity check the paper performs with BCC tools.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace pinsim::workload {
+
+enum class AppClass { CpuBound, Hpc, IoWeb, IoNoSql };
+
+const char* to_string(AppClass cls);
+
+struct AppSpec {
+  std::string name;
+  std::string version;         // version used in the paper (Table I)
+  std::string characteristic;  // paper's wording
+  AppClass cls;
+};
+
+/// The four rows of Table I.
+const std::vector<AppSpec>& table1_applications();
+
+/// Build the workload model behind a Table I row.
+std::unique_ptr<Workload> make_workload(AppClass cls);
+
+struct MeasuredProfile {
+  double cpu_fraction = 0.0;    // on-cpu time / total task lifetime
+  double block_fraction = 0.0;  // blocked (IO / messages) / lifetime
+  double wait_fraction = 0.0;   // runnable-but-waiting / lifetime
+  double io_ops_per_second = 0.0;
+  double messages_per_second = 0.0;
+  double metric_seconds = 0.0;
+};
+
+/// Run `workload` on a bare-metal instance of `cores` cores and measure
+/// where its tasks spend their lifetimes.
+MeasuredProfile measure_profile(Workload& workload, int cores,
+                                std::uint64_t seed);
+
+}  // namespace pinsim::workload

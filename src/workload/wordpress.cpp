@@ -1,0 +1,104 @@
+#include "workload/wordpress.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace pinsim::workload {
+
+namespace {
+
+/// One web request: socket read -> parse -> (disk on page-cache miss) ->
+/// db -> render -> socket write -> exit. Three to four IRQs per request.
+class RequestDriver final : public os::TaskDriver {
+ public:
+  RequestDriver(const WordPressConfig& config, hw::IoDevice& disk,
+                hw::IoDevice& nic, Rng rng)
+      : config_(&config), disk_(&disk), nic_(&nic), rng_(rng) {}
+
+  os::Action next(os::Task&) override {
+    switch (stage_++) {
+      case 0:  // read the request from the socket
+        return os::Action::io(*nic_, hw::IoRequest{hw::IoKind::NetRecv, 2.0});
+      case 1:
+        return os::Action::compute(jittered(config_->parse_ms));
+      case 2:
+        if (rng_.chance(config_->page_cache_hit)) {
+          ++stage_;  // cache hit: skip the disk read
+          return os::Action::compute(jittered(config_->db_ms));
+        }
+        return os::Action::io(*disk_, hw::IoRequest{hw::IoKind::Read, 16.0});
+      case 3:
+        return os::Action::compute(jittered(config_->db_ms));
+      case 4:  // backend wait: db locks / upstream calls (no CPU)
+        return os::Action::sleep_for(jittered(config_->backend_wait_ms));
+      case 5:
+        return os::Action::compute(jittered(config_->render_ms));
+      case 6:
+        return os::Action::io(
+            *nic_, hw::IoRequest{hw::IoKind::NetSend, config_->response_kb});
+      default:
+        return os::Action::exit();
+    }
+  }
+
+ private:
+  SimDuration jittered(double ms) {
+    const double jitter =
+        1.0 + config_->jitter * (2.0 * rng_.next_double() - 1.0);
+    return std::max<SimDuration>(msec_f(ms * jitter), 1);
+  }
+
+  const WordPressConfig* config_;
+  hw::IoDevice* disk_;
+  hw::IoDevice* nic_;
+  int stage_ = 0;
+  Rng rng_;
+};
+
+}  // namespace
+
+RunResult WordPress::run(virt::Platform& platform, Rng rng) {
+  const SimTime start = platform.engine().now();
+  Completion completion(platform.engine());
+  completion.expect(config_.requests);
+
+  // JMeter fires the burst from a dedicated machine: arrivals are spread
+  // over the ramp window; each arrival spawns one request process.
+  for (int i = 0; i < config_.requests; ++i) {
+    const SimDuration offset =
+        static_cast<SimDuration>(rng.next_double() * sec_f(config_.ramp_seconds));
+    Rng request_rng = rng.fork();
+    auto* platform_ptr = &platform;
+    const WordPressConfig* config = &config_;
+    Completion* latch = &completion;
+    const int id = i;
+    platform.engine().schedule(offset, [platform_ptr, config, latch, id,
+                                        request_rng]() mutable {
+      virt::WorkTaskConfig task_config;
+      task_config.name = "req" + std::to_string(id);
+      task_config.working_set_mb = config->working_set_mb;
+      task_config.guest_inflation_sensitivity =
+          config->guest_inflation_sensitivity;
+      task_config.network_born = true;
+      task_config.on_exit = latch->tracker(platform_ptr->engine().now());
+      os::Task& task = platform_ptr->spawn(
+          std::move(task_config),
+          std::make_unique<RequestDriver>(*config, platform_ptr->disk(),
+                                          platform_ptr->nic(), request_rng));
+      platform_ptr->start(task);
+    });
+  }
+
+  run_to_completion(platform, completion, start + config_.horizon,
+                    "wordpress burst");
+
+  RunResult result;
+  result.wall_seconds = to_seconds(platform.engine().now() - start);
+  result.metric_seconds = completion.response().mean();
+  result.extras["p_max"] = completion.response().max();
+  result.extras["requests"] = config_.requests;
+  return result;
+}
+
+}  // namespace pinsim::workload

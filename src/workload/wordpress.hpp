@@ -1,0 +1,57 @@
+// WordPress web workload (paper §III-B3, Figure 5).
+//
+// 1,000 simultaneous web requests fired by a JMeter-style load generator
+// running on a separate machine (it consumes no host CPU; only the
+// requests do). Each request is a short IO-bound process with at least
+// three interrupts, exactly as the paper describes: read the HTTP request
+// from the socket, fetch the page (database/file work, served from the
+// page cache with some probability), render, and write the response back
+// to the socket. The metric is the mean response time over all requests.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace pinsim::workload {
+
+struct WordPressConfig {
+  int requests = 1000;
+  /// Arrival window for the "simultaneous" burst.
+  double ramp_seconds = 1.0;
+  /// PHP request parsing + routing (one-core ms).
+  double parse_ms = 8.0;
+  /// MySQL query evaluation (one-core ms).
+  double db_ms = 8.0;
+  /// Template rendering + response assembly (one-core ms).
+  double render_ms = 9.0;
+  /// Fraction of the hypervisor compute inflation that applies to a
+  /// request (most of its path is kernel/IO work).
+  double guest_inflation_sensitivity = 0.35;
+  /// Non-CPU backend wait per request (database locks, upstream calls,
+  /// connection handling) — the response-time floor visible at large
+  /// instance sizes where CPU stops being the bottleneck.
+  double backend_wait_ms = 250.0;
+  /// Probability the page/database working set is in the page cache.
+  double page_cache_hit = 0.70;
+  /// Response size (transfer cost on the NIC).
+  double response_kb = 128.0;
+  /// Hot state per request (PHP interpreter + data).
+  double working_set_mb = 6.0;
+  /// Relative jitter on compute phases.
+  double jitter = 0.15;
+  /// Safety horizon.
+  SimTime horizon = sec(2400);
+};
+
+class WordPress final : public Workload {
+ public:
+  explicit WordPress(WordPressConfig config = {}) : config_(config) {}
+  std::string name() const override { return "wordpress"; }
+
+  /// Metric: mean response time (seconds) across all requests.
+  RunResult run(virt::Platform& platform, Rng rng) override;
+
+ private:
+  WordPressConfig config_;
+};
+
+}  // namespace pinsim::workload

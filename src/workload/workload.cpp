@@ -1,0 +1,23 @@
+#include "workload/workload.hpp"
+
+#include "util/check.hpp"
+
+namespace pinsim::workload {
+
+std::function<void(os::Task&)> Completion::tracker(SimTime arrived) {
+  return [this, arrived](os::Task&) {
+    ++finished_;
+    response_.add(to_seconds(engine_->now() - arrived));
+  };
+}
+
+void run_to_completion(virt::Platform& platform, Completion& completion,
+                       SimTime horizon, const std::string& what) {
+  const bool finished = platform.engine().run_until(
+      [&completion] { return completion.done(); }, horizon);
+  PINSIM_CHECK_MSG(finished, what << " on " << platform.spec().label()
+                                  << " did not finish ("
+                                  << completion.finished() << " tasks done)");
+}
+
+}  // namespace pinsim::workload

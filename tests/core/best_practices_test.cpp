@@ -1,0 +1,105 @@
+#include "core/best_practices.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim::core {
+namespace {
+
+TEST(BestPracticesTest, FiveTextsPublished) {
+  ASSERT_EQ(practice_texts().size(), 5u);
+  EXPECT_NE(practice_texts()[0].find("vanilla containers"),
+            std::string::npos);
+  EXPECT_NE(practice_texts()[4].find("CHR"), std::string::npos);
+}
+
+TEST(BestPracticesTest, CpuBoundWithPinningGetsPinnedContainer) {
+  DeploymentQuery query;
+  query.app = workload::AppClass::CpuBound;
+  const auto recs = recommend(query);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs.front().kind, virt::PlatformKind::Container);
+  EXPECT_EQ(recs.front().mode, virt::CpuMode::Pinned);
+}
+
+TEST(BestPracticesTest, IoBoundWithoutPinningGetsVmcn) {
+  DeploymentQuery query;
+  query.app = workload::AppClass::IoNoSql;
+  query.pinning_allowed = false;
+  const auto recs = recommend(query);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs.front().kind, virt::PlatformKind::VmContainer);
+}
+
+TEST(BestPracticesTest, VmIsolationForcesVmLayers) {
+  DeploymentQuery query;
+  query.app = workload::AppClass::CpuBound;
+  query.require_vm_isolation = true;
+  const auto recs = recommend(query);
+  for (const auto& rec : recs) {
+    EXPECT_TRUE(rec.kind == virt::PlatformKind::Vm ||
+                rec.kind == virt::PlatformKind::VmContainer)
+        << rec.label();
+  }
+  // Practice 3: no pinned plain VM recommended for CPU-bound work.
+  EXPECT_EQ(recs.front().mode, virt::CpuMode::Vanilla);
+}
+
+TEST(BestPracticesTest, NeverRecommendsVanillaContainerFirst) {
+  for (const auto app :
+       {workload::AppClass::CpuBound, workload::AppClass::Hpc,
+        workload::AppClass::IoWeb, workload::AppClass::IoNoSql}) {
+    for (const bool pinning : {true, false}) {
+      DeploymentQuery query;
+      query.app = app;
+      query.pinning_allowed = pinning;
+      const auto recs = recommend(query);
+      ASSERT_FALSE(recs.empty());
+      const auto& top = recs.front();
+      EXPECT_FALSE(top.kind == virt::PlatformKind::Container &&
+                   top.mode == virt::CpuMode::Vanilla)
+          << "vanilla container recommended for " << to_string(app);
+    }
+  }
+}
+
+TEST(BestPracticesTest, VerifyPracticesAgainstSyntheticData) {
+  // CPU figure: VM flat 2x (pinning no help), pinned CN ~1x best.
+  stats::Figure cpu("cpu", {"s", "l"});
+  auto set_flat = [&cpu](const std::string& name, double a, double b) {
+    auto& series = cpu.add_series(name);
+    series.set(0, {a, 0.0});
+    series.set(1, {b, 0.0});
+  };
+  set_flat("Vanilla VM", 20, 20);
+  set_flat("Pinned VM", 20, 20);
+  set_flat("Vanilla VMCN", 24, 21);
+  set_flat("Pinned VMCN", 24, 21);
+  set_flat("Vanilla CN", 13, 10.5);
+  set_flat("Pinned CN", 10.2, 10.1);
+  set_flat(kBaselineSeries, 10, 10);
+
+  // IO figure: vanilla CN worst at small size, VMCN <= VM.
+  stats::Figure io("io", {"s", "l"});
+  auto set_io = [&io](const std::string& name, double a, double b) {
+    auto& series = io.add_series(name);
+    series.set(0, {a, 0.0});
+    series.set(1, {b, 0.0});
+  };
+  set_io("Vanilla VM", 15, 12);
+  set_io("Pinned VM", 13, 11);
+  set_io("Vanilla VMCN", 14, 11.5);
+  set_io("Pinned VMCN", 12.5, 11);
+  set_io("Vanilla CN", 25, 11);
+  set_io("Pinned CN", 9, 9.8);
+  set_io(kBaselineSeries, 10, 10);
+
+  const auto checks = verify_practices(cpu, io);
+  ASSERT_EQ(checks.size(), 4u);
+  for (const auto& check : checks) {
+    EXPECT_TRUE(check.holds) << "practice " << check.practice << ": "
+                             << check.evidence;
+  }
+}
+
+}  // namespace
+}  // namespace pinsim::core

@@ -1,0 +1,81 @@
+#include "core/chr_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim::core {
+namespace {
+
+TEST(ChrAdvisorTest, ChrComputation) {
+  const hw::Topology host = hw::Topology::dell_r830();
+  EXPECT_NEAR(chr_of(virt::instance_by_name("4xLarge"), host), 16.0 / 112.0,
+              1e-12);
+  EXPECT_NEAR(chr_of(virt::instance_by_name("4xLarge"),
+                     hw::Topology::small_host_16()),
+              1.0, 1e-12);
+}
+
+TEST(ChrAdvisorTest, PaperRangesMatchSectionVI) {
+  const ChrRange cpu = paper_chr_range(workload::AppClass::CpuBound);
+  EXPECT_DOUBLE_EQ(cpu.low, 0.07);
+  EXPECT_DOUBLE_EQ(cpu.high, 0.14);
+  const ChrRange web = paper_chr_range(workload::AppClass::IoWeb);
+  EXPECT_DOUBLE_EQ(web.low, 0.14);
+  EXPECT_DOUBLE_EQ(web.high, 0.28);
+  const ChrRange nosql = paper_chr_range(workload::AppClass::IoNoSql);
+  EXPECT_DOUBLE_EQ(nosql.low, 0.28);
+  EXPECT_DOUBLE_EQ(nosql.high, 0.57);
+}
+
+TEST(ChrAdvisorTest, RangesAreOrderedByIoIntensity) {
+  // The paper: "IO intensive applications require a higher CHR value
+  // than the CPU intensive ones."
+  EXPECT_LE(paper_chr_range(workload::AppClass::CpuBound).high,
+            paper_chr_range(workload::AppClass::IoWeb).high);
+  EXPECT_LE(paper_chr_range(workload::AppClass::IoWeb).high,
+            paper_chr_range(workload::AppClass::IoNoSql).high);
+}
+
+TEST(ChrAdvisorTest, DeriveRangeFindsTransition) {
+  const std::vector<ChrPoint> points = {
+      {0.02, 3.5}, {0.04, 2.4}, {0.07, 1.8}, {0.14, 1.1}, {0.29, 1.05}};
+  const auto range = derive_chr_range(points, 1.2);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_DOUBLE_EQ(range->low, 0.07);
+  EXPECT_DOUBLE_EQ(range->high, 0.14);
+}
+
+TEST(ChrAdvisorTest, DeriveRangeImmediateAndNever) {
+  const std::vector<ChrPoint> good = {{0.05, 1.05}, {0.1, 1.0}};
+  const auto immediate = derive_chr_range(good, 1.2);
+  ASSERT_TRUE(immediate.has_value());
+  EXPECT_DOUBLE_EQ(immediate->low, 0.0);
+  EXPECT_DOUBLE_EQ(immediate->high, 0.05);
+
+  const std::vector<ChrPoint> bad = {{0.05, 3.0}, {0.5, 2.0}};
+  EXPECT_FALSE(derive_chr_range(bad, 1.2).has_value());
+}
+
+TEST(ChrAdvisorTest, RecommendInstanceOnPaperHost) {
+  const hw::Topology host = hw::Topology::dell_r830();
+  // CPU-bound on 112 cores: smallest instance with 0.07 < c/112 <= 0.14
+  // is 8 cores (CHR 0.071) -> 2xLarge.
+  const auto cpu = recommend_instance(workload::AppClass::CpuBound, host);
+  ASSERT_TRUE(cpu.has_value());
+  EXPECT_EQ(cpu->name, "2xLarge");
+  // Ultra IO: smallest with 0.28 < c/112 <= 0.57 is 32 cores (0.286)
+  // -> 8xLarge.
+  const auto nosql = recommend_instance(workload::AppClass::IoNoSql, host);
+  ASSERT_TRUE(nosql.has_value());
+  EXPECT_EQ(nosql->name, "8xLarge");
+}
+
+TEST(ChrAdvisorTest, RecommendationRespectsHostSize) {
+  // On a 16-core host, ultra-IO wants 0.28 < c/16 <= 0.57 -> 8 cores.
+  const auto rec = recommend_instance(workload::AppClass::IoNoSql,
+                                      hw::Topology::small_host_16());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->cores, 8);
+}
+
+}  // namespace
+}  // namespace pinsim::core

@@ -1,0 +1,102 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/figure.hpp"
+#include "workload/ffmpeg.hpp"
+
+namespace pinsim::core {
+namespace {
+
+WorkloadFactory tiny_ffmpeg() {
+  return [] {
+    workload::FfmpegConfig config;
+    config.serial_seconds = 0.2;
+    config.parallel_seconds = 1.6;
+    return std::make_unique<workload::Ffmpeg>(config);
+  };
+}
+
+TEST(ExperimentTest, MeasureProducesRequestedRepetitions) {
+  ExperimentConfig config;
+  config.repetitions = 5;
+  ExperimentRunner runner(config);
+  const virt::PlatformSpec spec{virt::PlatformKind::BareMetal,
+                                virt::CpuMode::Vanilla,
+                                virt::instance_by_name("xLarge")};
+  const Measurement measurement = runner.measure(spec, tiny_ffmpeg());
+  EXPECT_EQ(measurement.samples.count(), 5);
+  EXPECT_GT(measurement.interval().mean, 0.0);
+  EXPECT_GE(measurement.interval().half_width, 0.0);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRunnerInstances) {
+  ExperimentConfig config;
+  config.repetitions = 3;
+  const virt::PlatformSpec spec{virt::PlatformKind::Container,
+                                virt::CpuMode::Vanilla,
+                                virt::instance_by_name("Large")};
+  const double a =
+      ExperimentRunner(config).measure(spec, tiny_ffmpeg()).interval().mean;
+  const double b =
+      ExperimentRunner(config).measure(spec, tiny_ffmpeg()).interval().mean;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ExperimentTest, SeedChangesResults) {
+  ExperimentConfig a;
+  a.repetitions = 3;
+  ExperimentConfig b = a;
+  b.base_seed = 777;
+  const virt::PlatformSpec spec{virt::PlatformKind::Container,
+                                virt::CpuMode::Vanilla,
+                                virt::instance_by_name("Large")};
+  EXPECT_NE(ExperimentRunner(a).measure(spec, tiny_ffmpeg()).interval().mean,
+            ExperimentRunner(b).measure(spec, tiny_ffmpeg()).interval().mean);
+}
+
+TEST(FigureBuildTest, BuildsAllSeriesAcrossInstances) {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  ExperimentRunner runner(config);
+  FigureSpec spec;
+  spec.title = "mini fig";
+  spec.instances = {"Large", "xLarge"};
+  int points = 0;
+  spec.on_point = [&points](const virt::PlatformSpec&,
+                            const stats::Interval&) { ++points; };
+  const stats::Figure figure = build_figure(
+      runner, spec, [](const virt::InstanceType&) { return tiny_ffmpeg(); });
+  EXPECT_EQ(figure.series().size(), 7u);
+  EXPECT_EQ(points, 14);
+  for (const auto& series : figure.series()) {
+    EXPECT_TRUE(series.at(0).has_value()) << series.name();
+    EXPECT_TRUE(series.at(1).has_value()) << series.name();
+  }
+}
+
+TEST(FigureBuildTest, SkipPredicateOmitsCells) {
+  ExperimentConfig config;
+  config.repetitions = 1;
+  ExperimentRunner runner(config);
+  FigureSpec spec;
+  spec.title = "skippy";
+  spec.instances = {"Large"};
+  spec.skip = [](const virt::PlatformSpec& p) {
+    return p.kind == virt::PlatformKind::Vm;
+  };
+  const stats::Figure figure = build_figure(
+      runner, spec, [](const virt::InstanceType&) { return tiny_ffmpeg(); });
+  EXPECT_FALSE(figure.find_series("Vanilla VM")->at(0).has_value());
+  EXPECT_TRUE(figure.find_series("Vanilla BM")->at(0).has_value());
+}
+
+TEST(FigureBuildTest, PaperInstanceLists) {
+  EXPECT_EQ(fig3_instances().size(), 4u);
+  EXPECT_EQ(fig3_instances().back(), "4xLarge");
+  EXPECT_EQ(fig456_instances().size(), 5u);
+  EXPECT_EQ(fig456_instances().front(), "xLarge");
+}
+
+}  // namespace
+}  // namespace pinsim::core

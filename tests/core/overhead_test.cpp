@@ -1,0 +1,80 @@
+#include "core/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::core {
+namespace {
+
+/// Hand-built figure: BM flat at 10; a PTO series flat at 20 (ratio 2);
+/// a PSO series declining 40 -> 12 (ratio 4 -> 1.2).
+stats::Figure synthetic_figure() {
+  stats::Figure figure("synthetic", {"small", "medium", "large"});
+  auto& bm = figure.add_series(kBaselineSeries);
+  bm.set(0, {10.0, 0.0});
+  bm.set(1, {10.0, 0.0});
+  bm.set(2, {10.0, 0.0});
+  auto& pto = figure.add_series("Vanilla VM");
+  pto.set(0, {20.0, 0.0});
+  pto.set(1, {20.0, 0.0});
+  pto.set(2, {20.0, 0.0});
+  auto& pso = figure.add_series("Vanilla CN");
+  pso.set(0, {40.0, 0.0});
+  pso.set(1, {20.0, 0.0});
+  pso.set(2, {12.0, 0.0});
+  auto& sparse = figure.add_series("Pinned CN");
+  sparse.set(1, {11.0, 0.0});  // missing at 0 and 2
+  return figure;
+}
+
+TEST(OverheadTest, RatiosAgainstBaseline) {
+  const stats::Figure figure = synthetic_figure();
+  EXPECT_DOUBLE_EQ(*overhead_ratio(figure, "Vanilla VM", 0), 2.0);
+  EXPECT_DOUBLE_EQ(*overhead_ratio(figure, "Vanilla CN", 0), 4.0);
+  EXPECT_DOUBLE_EQ(*overhead_ratio(figure, "Vanilla CN", 2), 1.2);
+  EXPECT_FALSE(overhead_ratio(figure, "Pinned CN", 0).has_value());
+  EXPECT_FALSE(overhead_ratio(figure, "nonexistent", 0).has_value());
+}
+
+TEST(OverheadTest, ClassifiesPtoAndPso) {
+  const OverheadAnalysis analysis = analyze_overhead(synthetic_figure());
+  const SeriesOverhead* vm = analysis.find("Vanilla VM");
+  ASSERT_NE(vm, nullptr);
+  EXPECT_TRUE(vm->pto_dominated);
+  EXPECT_FALSE(vm->has_pso);
+  EXPECT_DOUBLE_EQ(vm->pto, 2.0);
+
+  const SeriesOverhead* cn = analysis.find("Vanilla CN");
+  ASSERT_NE(cn, nullptr);
+  EXPECT_TRUE(cn->has_pso);
+  EXPECT_FALSE(cn->pto_dominated);
+  EXPECT_DOUBLE_EQ(cn->pto, 1.2);
+  EXPECT_NEAR(*cn->pso[0], 4.0 - 1.2, 1e-12);
+  EXPECT_NEAR(*cn->pso[2], 0.0, 1e-12);
+}
+
+TEST(OverheadTest, BaselineExcludedFromAnalysis) {
+  const OverheadAnalysis analysis = analyze_overhead(synthetic_figure());
+  EXPECT_EQ(analysis.find(kBaselineSeries), nullptr);
+  EXPECT_EQ(analysis.series.size(), 3u);
+}
+
+TEST(OverheadTest, MissingBaselineRejected) {
+  stats::Figure figure("broken", {"x"});
+  figure.add_series("Vanilla VM").set(0, {1.0, 0.0});
+  EXPECT_THROW(analyze_overhead(figure), InvariantViolation);
+}
+
+TEST(OverheadTest, SparseSeriesUsesAvailablePoints) {
+  const OverheadAnalysis analysis = analyze_overhead(synthetic_figure());
+  const SeriesOverhead* sparse = analysis.find("Pinned CN");
+  ASSERT_NE(sparse, nullptr);
+  EXPECT_FALSE(sparse->ratios[0].has_value());
+  ASSERT_TRUE(sparse->ratios[1].has_value());
+  EXPECT_DOUBLE_EQ(*sparse->ratios[1], 1.1);
+  EXPECT_DOUBLE_EQ(sparse->pto, 1.1);
+}
+
+}  // namespace
+}  // namespace pinsim::core

@@ -1,0 +1,58 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pinsim::core {
+namespace {
+
+stats::Figure sample_figure() {
+  stats::Figure figure("Fig X — sample", {"Large", "xLarge"});
+  auto& bm = figure.add_series(kBaselineSeries);
+  bm.set(0, {10.0, 0.5});
+  bm.set(1, {8.0, 0.4});
+  auto& cn = figure.add_series("Vanilla CN");
+  cn.set(0, {25.0, 1.0});
+  cn.set(1, {9.0, 0.3});
+  return figure;
+}
+
+TEST(ReportTest, HeaderNamesArtifactAndPaper) {
+  std::ostringstream os;
+  print_header(os, "Figure 3", "FFmpeg execution time");
+  EXPECT_NE(os.str().find("Figure 3"), std::string::npos);
+  EXPECT_NE(os.str().find("CPU-Pinning"), std::string::npos);
+}
+
+TEST(ReportTest, FigureReportContainsAllBlocks) {
+  std::ostringstream os;
+  print_figure_report(os, sample_figure());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Mean execution time"), std::string::npos);
+  EXPECT_NE(out.find("Vanilla CN"), std::string::npos);
+  EXPECT_NE(out.find("overhead ratio"), std::string::npos);
+  EXPECT_NE(out.find("CSV:"), std::string::npos);
+  EXPECT_NE(out.find("2.50x"), std::string::npos);  // 25/10
+}
+
+TEST(ReportTest, RatioTableClassifiesSeries) {
+  std::ostringstream os;
+  print_ratio_table(os, sample_figure());
+  // 2.5x -> 1.13x decline = PSO.
+  EXPECT_NE(os.str().find("PSO"), std::string::npos);
+}
+
+TEST(ReportTest, OptionsSuppressBlocks) {
+  std::ostringstream os;
+  ReportOptions options;
+  options.bars = false;
+  options.csv = false;
+  options.ratios = false;
+  print_figure_report(os, sample_figure(), options);
+  EXPECT_EQ(os.str().find("CSV:"), std::string::npos);
+  EXPECT_EQ(os.str().find("overhead ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinsim::core

@@ -1,0 +1,128 @@
+// End-to-end shape tests: cheap, low-rep versions of the paper's
+// headline findings, so a regression in any substrate that would bend a
+// figure fails CI before the bench run.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/figure.hpp"
+#include "core/overhead.hpp"
+#include "workload/cassandra.hpp"
+#include "workload/ffmpeg.hpp"
+#include "workload/mpi.hpp"
+
+namespace pinsim::core {
+namespace {
+
+double ratio(const ExperimentRunner& runner, virt::PlatformKind kind,
+             virt::CpuMode mode, const std::string& instance,
+             const WorkloadFactory& factory) {
+  const auto& inst = virt::instance_by_name(instance);
+  const virt::PlatformSpec spec{kind, mode, inst};
+  const virt::PlatformSpec bm{virt::PlatformKind::BareMetal,
+                              virt::CpuMode::Vanilla, inst};
+  return runner.measure(spec, factory).interval().mean /
+         runner.measure(bm, factory).interval().mean;
+}
+
+ExperimentRunner quick_runner() {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  return ExperimentRunner(config);
+}
+
+WorkloadFactory ffmpeg_factory() {
+  return [] { return std::make_unique<workload::Ffmpeg>(); };
+}
+
+TEST(ShapesTest, Fig3VmIsFlatTwoXAndPinningDoesNotHelp) {
+  const ExperimentRunner runner = quick_runner();
+  const double vm_small = ratio(runner, virt::PlatformKind::Vm,
+                                virt::CpuMode::Vanilla, "Large",
+                                ffmpeg_factory());
+  const double vm_big = ratio(runner, virt::PlatformKind::Vm,
+                              virt::CpuMode::Vanilla, "4xLarge",
+                              ffmpeg_factory());
+  const double vm_pinned = ratio(runner, virt::PlatformKind::Vm,
+                                 virt::CpuMode::Pinned, "Large",
+                                 ffmpeg_factory());
+  EXPECT_GT(vm_small, 1.8);
+  EXPECT_LT(vm_small, 2.3);
+  EXPECT_NEAR(vm_small, vm_big, 0.25);     // PTO: flat across sizes
+  EXPECT_NEAR(vm_pinned, vm_small, 0.15);  // practice 3
+}
+
+TEST(ShapesTest, Fig3PinnedContainerTracksBareMetal) {
+  const ExperimentRunner runner = quick_runner();
+  const double pinned_cn = ratio(runner, virt::PlatformKind::Container,
+                                 virt::CpuMode::Pinned, "xLarge",
+                                 ffmpeg_factory());
+  EXPECT_LT(pinned_cn, 1.12);
+}
+
+TEST(ShapesTest, Fig3VmcnAtLeastVm) {
+  const ExperimentRunner runner = quick_runner();
+  const double vm = ratio(runner, virt::PlatformKind::Vm,
+                          virt::CpuMode::Vanilla, "xLarge",
+                          ffmpeg_factory());
+  const double vmcn = ratio(runner, virt::PlatformKind::VmContainer,
+                            virt::CpuMode::Vanilla, "xLarge",
+                            ffmpeg_factory());
+  EXPECT_GE(vmcn, 0.97 * vm);
+}
+
+TEST(ShapesTest, Fig4VmConvergesTowardBareMetalWithScale) {
+  const ExperimentRunner runner = quick_runner();
+  const WorkloadFactory mpi = [] {
+    workload::MpiConfig config;
+    config.iterations = 200;  // scaled-down fig4 proportions
+    config.total_compute_seconds = 2.0;
+    return std::make_unique<workload::MpiSearch>(config);
+  };
+  const double vm_small = ratio(runner, virt::PlatformKind::Vm,
+                                virt::CpuMode::Vanilla, "xLarge", mpi);
+  const double vm_big = ratio(runner, virt::PlatformKind::Vm,
+                              virt::CpuMode::Vanilla, "16xLarge", mpi);
+  EXPECT_GT(vm_small, 1.6);
+  EXPECT_LT(vm_big, 1.35);
+}
+
+TEST(ShapesTest, Fig6VanillaContainerWorstForCassandra) {
+  ExperimentConfig config;
+  config.repetitions = 2;
+  const ExperimentRunner runner(config);
+  const WorkloadFactory cassandra = [] {
+    workload::CassandraConfig cfg;
+    cfg.operations = 300;
+    cfg.server_threads = 40;
+    return std::make_unique<workload::Cassandra>(cfg);
+  };
+  const double vanilla_cn = ratio(runner, virt::PlatformKind::Container,
+                                  virt::CpuMode::Vanilla, "xLarge",
+                                  cassandra);
+  const double pinned_cn = ratio(runner, virt::PlatformKind::Container,
+                                 virt::CpuMode::Pinned, "xLarge",
+                                 cassandra);
+  EXPECT_GT(vanilla_cn, 1.3);
+  EXPECT_LT(pinned_cn, 1.2);
+  EXPECT_GT(vanilla_cn, pinned_cn);
+}
+
+TEST(ShapesTest, Fig7LowChrCostsMore) {
+  // The CHR experiment in miniature: the same container is slower on the
+  // big host.
+  auto run_on_host = [](const hw::Topology& topo) {
+    const virt::PlatformSpec spec{virt::PlatformKind::Container,
+                                  virt::CpuMode::Vanilla,
+                                  virt::instance_by_name("4xLarge")};
+    virt::Host host(topo, hw::CostModel{}, 21);
+    auto platform = virt::make_platform(host, spec);
+    workload::Ffmpeg ffmpeg;
+    return ffmpeg.run(*platform, Rng(21)).metric_seconds;
+  };
+  const double chr_one = run_on_host(hw::Topology::small_host_16());
+  const double chr_low = run_on_host(hw::Topology::dell_r830());
+  EXPECT_GT(chr_low, 1.15 * chr_one);
+}
+
+}  // namespace
+}  // namespace pinsim::core

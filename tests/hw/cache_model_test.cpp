@@ -1,0 +1,63 @@
+#include "hw/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim::hw {
+namespace {
+
+class CacheModelTest : public ::testing::Test {
+ protected:
+  Topology topology_ = Topology::dell_r830();
+  CostModel costs_;
+  CacheModel model_{topology_, costs_};
+};
+
+TEST_F(CacheModelTest, SameCpuIsFree) {
+  EXPECT_EQ(model_.migration_penalty(3, 3, 50.0, true), 0);
+}
+
+TEST_F(CacheModelTest, PenaltyGrowsWithDistance) {
+  const double ws = 50.0;
+  const SimDuration smt = model_.migration_penalty(0, 1, ws, false);
+  const SimDuration socket = model_.migration_penalty(0, 2, ws, false);
+  const SimDuration cross = model_.migration_penalty(0, 28, ws, false);
+  EXPECT_LT(smt, socket);
+  EXPECT_LT(socket, cross);
+  EXPECT_GT(smt, 0);
+}
+
+TEST_F(CacheModelTest, PenaltyScalesWithWorkingSet) {
+  const SimDuration small = model_.migration_penalty(0, 28, 5.0, false);
+  const SimDuration big = model_.migration_penalty(0, 28, 25.0, false);
+  EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 5.0,
+              0.01);
+}
+
+TEST_F(CacheModelTest, WorkingSetCappedAtLlc) {
+  const SimDuration at_llc =
+      model_.migration_penalty(0, 28, topology_.llc_mb_per_socket(), false);
+  const SimDuration beyond = model_.migration_penalty(0, 28, 400.0, false);
+  EXPECT_EQ(at_llc, beyond);
+}
+
+TEST_F(CacheModelTest, IoTasksPayChannelReestablishment) {
+  const SimDuration quiet = model_.migration_penalty(0, 28, 5.0, false);
+  const SimDuration io = model_.migration_penalty(0, 28, 5.0, true);
+  EXPECT_EQ(io - quiet, costs_.io_channel_reestablish);
+}
+
+TEST_F(CacheModelTest, FirstDispatchChargesCompulsoryFill) {
+  const SimDuration first = model_.migration_penalty(-1, 5, 10.0, false);
+  EXPECT_GT(first, 0);
+  // ... but no IO-channel cost, since nothing was established yet.
+  EXPECT_EQ(model_.migration_penalty(-1, 5, 10.0, true), first);
+}
+
+TEST_F(CacheModelTest, RefillRatesExposed) {
+  EXPECT_EQ(model_.refill_per_mb(CpuDistance::SameCpu), 0);
+  EXPECT_EQ(model_.refill_per_mb(CpuDistance::CrossSocket),
+            costs_.refill_per_mb_cross);
+}
+
+}  // namespace
+}  // namespace pinsim::hw

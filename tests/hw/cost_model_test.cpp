@@ -1,0 +1,61 @@
+// Invariants the calibration constants must satisfy — these encode the
+// physical reasoning in DESIGN.md, so a careless retune that breaks an
+// ordering (e.g. cross-socket refill cheaper than same-socket) fails
+// loudly.
+#include "hw/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim::hw {
+namespace {
+
+TEST(CostModelTest, CacheDistanceOrdering) {
+  const CostModel costs;
+  EXPECT_LT(costs.refill_per_mb_smt, costs.refill_per_mb_socket);
+  EXPECT_LT(costs.refill_per_mb_socket, costs.refill_per_mb_cross);
+}
+
+TEST(CostModelTest, KernelPathOrdering) {
+  const CostModel costs;
+  // A mode switch is cheaper than a scheduling pass, which is cheaper
+  // than a full context switch.
+  EXPECT_LT(costs.kernel_entry, costs.sched_pick);
+  EXPECT_LT(costs.sched_pick, costs.context_switch);
+}
+
+TEST(CostModelTest, HypervisorPathOrdering) {
+  const CostModel costs;
+  // Guest shared-memory IPC beats host-mediated IPC; the bridge path is
+  // the most expensive message route.
+  EXPECT_LT(costs.guest_ipc, costs.host_ipc);
+  EXPECT_GT(costs.container_net_msg, 0);
+  // Compute inflation is a multiplier >= 1.
+  EXPECT_GE(costs.guest_compute_inflation, 1.0);
+  // Halt-polling must cover at least a few poll chunks.
+  EXPECT_GE(costs.halt_poll, 4 * costs.halt_poll_chunk);
+}
+
+TEST(CostModelTest, CgroupAggregationBoundedByInterval) {
+  const CostModel costs;
+  // Even at maximal spread (112 cpus) the nominal walk cost must be
+  // cappable within its own interval (the Cgroup enforces the cap; the
+  // default constants should not even come close).
+  const SimDuration max_walk =
+      costs.cgroup_aggregate_base + 112 * costs.cgroup_aggregate_per_core;
+  EXPECT_LT(max_walk, costs.cgroup_aggregate_interval);
+}
+
+TEST(CostModelTest, BandwidthSliceDividesPeriod) {
+  const CostModel costs;
+  EXPECT_LT(costs.cfs_bandwidth_slice, costs.cfs_period);
+  EXPECT_EQ(costs.cfs_period % costs.cfs_bandwidth_slice, 0);
+}
+
+TEST(CostModelTest, NumaTaxIsAFraction) {
+  const CostModel costs;
+  EXPECT_GT(costs.numa_remote_tax, 0.0);
+  EXPECT_LT(costs.numa_remote_tax, 1.0);
+}
+
+}  // namespace
+}  // namespace pinsim::hw

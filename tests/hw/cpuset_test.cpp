@@ -1,0 +1,81 @@
+#include "hw/cpuset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::hw {
+namespace {
+
+TEST(CpuSetTest, EmptyByDefault) {
+  CpuSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0);
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(CpuSetTest, FirstN) {
+  const CpuSet set = CpuSet::first_n(4);
+  EXPECT_EQ(set.count(), 4);
+  for (int cpu = 0; cpu < 4; ++cpu) EXPECT_TRUE(set.contains(cpu));
+  EXPECT_FALSE(set.contains(4));
+}
+
+TEST(CpuSetTest, Range) {
+  const CpuSet set = CpuSet::range(10, 14);
+  EXPECT_EQ(set.count(), 4);
+  EXPECT_FALSE(set.contains(9));
+  EXPECT_TRUE(set.contains(10));
+  EXPECT_TRUE(set.contains(13));
+  EXPECT_FALSE(set.contains(14));
+}
+
+TEST(CpuSetTest, AddRemove) {
+  CpuSet set;
+  set.add(5);
+  set.add(200);
+  EXPECT_EQ(set.count(), 2);
+  set.remove(5);
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_TRUE(set.contains(200));
+}
+
+TEST(CpuSetTest, OutOfRangeRejected) {
+  CpuSet set;
+  EXPECT_THROW(set.add(-1), InvariantViolation);
+  EXPECT_THROW(set.add(CpuSet::kMaxCpus), InvariantViolation);
+  EXPECT_FALSE(set.contains(-1));
+  EXPECT_FALSE(set.contains(1000));
+}
+
+TEST(CpuSetTest, SetOperations) {
+  const CpuSet a = CpuSet::range(0, 6);
+  const CpuSet b = CpuSet::range(4, 10);
+  EXPECT_EQ((a & b).count(), 2);
+  EXPECT_EQ((a | b).count(), 10);
+  EXPECT_TRUE((a & b).subset_of(a));
+  EXPECT_TRUE((a & b).subset_of(b));
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_TRUE(a.subset_of(a));
+}
+
+TEST(CpuSetTest, FirstAndVector) {
+  const CpuSet set = CpuSet::of({7, 3, 11});
+  EXPECT_EQ(set.first(), 3);
+  EXPECT_EQ(set.to_vector(), (std::vector<CpuId>{3, 7, 11}));
+  EXPECT_THROW(CpuSet().first(), InvariantViolation);
+}
+
+TEST(CpuSetTest, ToString) {
+  EXPECT_EQ(CpuSet().to_string(), "(empty)");
+  EXPECT_EQ(CpuSet::of({0, 1, 2, 3}).to_string(), "0-3");
+  EXPECT_EQ(CpuSet::of({0, 1, 5, 8, 9}).to_string(), "0-1,5,8-9");
+}
+
+TEST(CpuSetTest, Equality) {
+  EXPECT_TRUE(CpuSet::first_n(3) == CpuSet::of({0, 1, 2}));
+  EXPECT_FALSE(CpuSet::first_n(3) == CpuSet::first_n(4));
+}
+
+}  // namespace
+}  // namespace pinsim::hw

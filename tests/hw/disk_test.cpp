@@ -1,0 +1,124 @@
+#include "hw/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace pinsim::hw {
+namespace {
+
+TEST(IoDeviceTest, CompletesRequestAfterServiceTime) {
+  sim::Engine engine;
+  IoDevice disk = IoDevice::raid1_hdd(engine, Rng(1));
+  bool done = false;
+  disk.submit(IoRequest{IoKind::Read, 4.0}, [&] { done = true; });
+  EXPECT_FALSE(done);
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(engine.now(), 0);
+  EXPECT_EQ(disk.completed(), 1);
+}
+
+TEST(IoDeviceTest, QueueingWhenChannelsBusy) {
+  sim::Engine engine;
+  IoDevice::Config config;
+  config.channels = 1;
+  config.read_mean = msec(10);
+  config.read_stddev = 0;
+  config.per_kb = 0;
+  IoDevice dev(engine, "serial-disk", config, Rng(2));
+
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    dev.submit(IoRequest{IoKind::Read, 0.0}, [&] { ++completions; });
+  }
+  EXPECT_EQ(dev.busy_channels(), 1);
+  EXPECT_EQ(dev.queue_depth(), 2);
+  engine.run();
+  EXPECT_EQ(completions, 3);
+  // Serialized: total time ~ 3 services.
+  EXPECT_GT(engine.now(), msec(25));
+}
+
+TEST(IoDeviceTest, ParallelChannelsOverlap) {
+  sim::Engine engine;
+  IoDevice::Config config;
+  config.channels = 4;
+  config.read_mean = msec(10);
+  config.read_stddev = 0;
+  config.per_kb = 0;
+  IoDevice dev(engine, "array", config, Rng(3));
+  int completions = 0;
+  for (int i = 0; i < 4; ++i) {
+    dev.submit(IoRequest{IoKind::Read, 0.0}, [&] { ++completions; });
+  }
+  engine.run();
+  EXPECT_EQ(completions, 4);
+  // All four should finish in about one service time.
+  EXPECT_LT(engine.now(), msec(15));
+}
+
+TEST(IoDeviceTest, WritesSlowerThanReadsOnHdd) {
+  sim::Engine engine;
+  IoDevice disk = IoDevice::raid1_hdd(engine, Rng(4));
+  // Average over many requests.
+  for (int i = 0; i < 300; ++i) {
+    disk.submit(IoRequest{IoKind::Read, 4.0}, nullptr);
+  }
+  engine.run();
+  const double read_latency = disk.latency().mean();
+
+  sim::Engine engine2;
+  IoDevice disk2 = IoDevice::raid1_hdd(engine2, Rng(4));
+  for (int i = 0; i < 300; ++i) {
+    disk2.submit(IoRequest{IoKind::Write, 4.0}, nullptr);
+  }
+  engine2.run();
+  EXPECT_GT(disk2.latency().mean(), read_latency);
+}
+
+TEST(IoDeviceTest, ExtraLatencyModelsVirtio) {
+  sim::Engine engine;
+  IoDevice::Config config;
+  config.channels = 1;
+  config.read_mean = msec(1);
+  config.read_stddev = 0;
+  config.per_kb = 0;
+  IoDevice dev(engine, "dev", config, Rng(5));
+  SimTime completed_at = 0;
+  dev.submit(IoRequest{IoKind::Read, 0.0},
+             [&] { completed_at = engine.now(); }, msec(2));
+  engine.run();
+  EXPECT_EQ(completed_at, msec(3));
+}
+
+TEST(IoDeviceTest, SizeAddsTransferTime) {
+  sim::Engine engine;
+  IoDevice::Config config;
+  config.channels = 1;
+  config.read_mean = msec(1);
+  config.read_stddev = 0;
+  config.per_kb = usec(10);
+  IoDevice dev(engine, "dev", config, Rng(6));
+  SimTime completed_at = 0;
+  dev.submit(IoRequest{IoKind::Read, 100.0},
+             [&] { completed_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(completed_at, msec(1) + usec(1000));
+}
+
+TEST(IoDeviceTest, NicIsFastAndWide) {
+  sim::Engine engine;
+  IoDevice nic = IoDevice::gigabit_nic(engine, Rng(7));
+  int completions = 0;
+  for (int i = 0; i < 64; ++i) {
+    nic.submit(IoRequest{IoKind::NetRecv, 1.0}, [&] { ++completions; });
+  }
+  EXPECT_EQ(nic.queue_depth(), 0);  // all in service at once
+  engine.run();
+  EXPECT_EQ(completions, 64);
+  EXPECT_LT(engine.now(), msec(5));
+}
+
+}  // namespace
+}  // namespace pinsim::hw

@@ -1,0 +1,95 @@
+#include "hw/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::hw {
+namespace {
+
+TEST(TopologyTest, DellR830Shape) {
+  const Topology host = Topology::dell_r830();
+  EXPECT_EQ(host.num_cpus(), 112);
+  EXPECT_EQ(host.sockets(), 4);
+  EXPECT_EQ(host.cores_per_socket(), 14);
+  EXPECT_EQ(host.threads_per_core(), 2);
+  EXPECT_DOUBLE_EQ(host.llc_mb_per_socket(), 35.0);
+}
+
+TEST(TopologyTest, SmallHostShape) {
+  const Topology host = Topology::small_host_16();
+  EXPECT_EQ(host.num_cpus(), 16);
+  EXPECT_EQ(host.sockets(), 1);
+}
+
+TEST(TopologyTest, SocketMapping) {
+  const Topology host = Topology::dell_r830();
+  EXPECT_EQ(host.socket_of(0), 0);
+  EXPECT_EQ(host.socket_of(27), 0);
+  EXPECT_EQ(host.socket_of(28), 1);
+  EXPECT_EQ(host.socket_of(111), 3);
+}
+
+TEST(TopologyTest, CoreMappingSmtSiblings) {
+  const Topology host = Topology::dell_r830();
+  EXPECT_EQ(host.core_of(0), host.core_of(1));
+  EXPECT_NE(host.core_of(1), host.core_of(2));
+}
+
+TEST(TopologyTest, Distances) {
+  const Topology host = Topology::dell_r830();
+  EXPECT_EQ(host.distance(5, 5), CpuDistance::SameCpu);
+  EXPECT_EQ(host.distance(0, 1), CpuDistance::SmtSibling);
+  EXPECT_EQ(host.distance(0, 2), CpuDistance::SameSocket);
+  EXPECT_EQ(host.distance(0, 28), CpuDistance::CrossSocket);
+  EXPECT_EQ(host.distance(30, 29), CpuDistance::SameSocket);
+}
+
+TEST(TopologyTest, DistanceIsSymmetric) {
+  const Topology host = Topology::dell_r830();
+  for (CpuId a : {0, 1, 13, 28, 57, 111}) {
+    for (CpuId b : {0, 1, 13, 28, 57, 111}) {
+      EXPECT_EQ(host.distance(a, b), host.distance(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, LimitedToModelsGrubMaxcpus) {
+  const Topology bm4 = Topology::dell_r830().limited_to(4);
+  EXPECT_EQ(bm4.num_cpus(), 4);
+  // The limited host keeps the same physical geometry.
+  EXPECT_EQ(bm4.distance(0, 1), CpuDistance::SmtSibling);
+  EXPECT_EQ(bm4.distance(0, 2), CpuDistance::SameSocket);
+  EXPECT_EQ(bm4.all_cpus().count(), 4);
+  EXPECT_THROW(bm4.socket_of(4), InvariantViolation);
+}
+
+TEST(TopologyTest, SocketCpusRespectLimit) {
+  const Topology host = Topology::dell_r830();
+  EXPECT_EQ(host.socket_cpus(0).count(), 28);
+  EXPECT_EQ(host.socket_cpus(3).count(), 28);
+  const Topology limited = host.limited_to(30);
+  EXPECT_EQ(limited.socket_cpus(0).count(), 28);
+  EXPECT_EQ(limited.socket_cpus(1).count(), 2);
+  EXPECT_TRUE(limited.socket_cpus(2).empty());
+}
+
+TEST(TopologyTest, CompactSetFillsCoresFirst) {
+  const Topology host = Topology::dell_r830();
+  const CpuSet pinned = host.compact_set(4);
+  EXPECT_EQ(pinned.count(), 4);
+  // 4 cpus = 2 physical cores worth of SMT threads, all on socket 0.
+  for (CpuId cpu : pinned.to_vector()) {
+    EXPECT_EQ(host.socket_of(cpu), 0);
+  }
+  EXPECT_THROW(host.compact_set(113), InvariantViolation);
+}
+
+TEST(TopologyTest, DescribeMentionsGeometry) {
+  const std::string text = Topology::dell_r830().describe();
+  EXPECT_NE(text.find("112"), std::string::npos);
+  EXPECT_NE(text.find("4 socket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinsim::hw

@@ -1,0 +1,105 @@
+#include "os/runqueue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace pinsim::os {
+namespace {
+
+std::unique_ptr<Task> make_task(Task::Id id, SimDuration vruntime) {
+  auto task = std::make_unique<Task>(
+      id, "t" + std::to_string(id),
+      std::make_unique<LambdaDriver>([](Task&) { return Action::exit(); }));
+  task->vruntime = vruntime;
+  return task;
+}
+
+TEST(RunqueueTest, OrdersByVruntime) {
+  Runqueue rq;
+  auto a = make_task(1, msec(5));
+  auto b = make_task(2, msec(2));
+  auto c = make_task(3, msec(8));
+  rq.enqueue(*a);
+  rq.enqueue(*b);
+  rq.enqueue(*c);
+  EXPECT_EQ(rq.size(), 3);
+  EXPECT_EQ(rq.peek_min(), b.get());
+  EXPECT_EQ(rq.peek_max(), c.get());
+  EXPECT_EQ(&rq.pop_min(), b.get());
+  EXPECT_EQ(&rq.pop_min(), a.get());
+  EXPECT_EQ(&rq.pop_min(), c.get());
+  EXPECT_TRUE(rq.empty());
+}
+
+TEST(RunqueueTest, TieBrokenById) {
+  Runqueue rq;
+  auto a = make_task(7, msec(1));
+  auto b = make_task(3, msec(1));
+  rq.enqueue(*a);
+  rq.enqueue(*b);
+  EXPECT_EQ(rq.peek_min(), b.get());
+}
+
+TEST(RunqueueTest, RemoveMiddle) {
+  Runqueue rq;
+  auto a = make_task(1, msec(1));
+  auto b = make_task(2, msec(2));
+  auto c = make_task(3, msec(3));
+  rq.enqueue(*a);
+  rq.enqueue(*b);
+  rq.enqueue(*c);
+  rq.remove(*b);
+  EXPECT_EQ(rq.size(), 2);
+  EXPECT_FALSE(rq.contains(*b));
+  EXPECT_TRUE(rq.contains(*a));
+}
+
+TEST(RunqueueTest, DoubleEnqueueRejected) {
+  Runqueue rq;
+  auto a = make_task(1, msec(1));
+  rq.enqueue(*a);
+  EXPECT_THROW(rq.enqueue(*a), InvariantViolation);
+}
+
+TEST(RunqueueTest, RemoveAbsentRejected) {
+  Runqueue rq;
+  auto a = make_task(1, msec(1));
+  EXPECT_THROW(rq.remove(*a), InvariantViolation);
+}
+
+TEST(RunqueueTest, MinVruntimeAdvancesMonotonically) {
+  Runqueue rq;
+  auto a = make_task(1, msec(10));
+  rq.enqueue(*a);
+  rq.pop_min();
+  EXPECT_EQ(rq.min_vruntime(), msec(10));
+  auto b = make_task(2, msec(4));
+  rq.enqueue(*b);
+  rq.pop_min();
+  // min_vruntime must never go backwards.
+  EXPECT_EQ(rq.min_vruntime(), msec(10));
+}
+
+TEST(RunqueueTest, PopEmptyRejected) {
+  Runqueue rq;
+  EXPECT_THROW(rq.pop_min(), InvariantViolation);
+  EXPECT_EQ(rq.peek_min(), nullptr);
+  EXPECT_EQ(rq.peek_max(), nullptr);
+}
+
+TEST(RunqueueTest, ForEachVisitsAscending) {
+  Runqueue rq;
+  auto a = make_task(1, msec(3));
+  auto b = make_task(2, msec(1));
+  rq.enqueue(*a);
+  rq.enqueue(*b);
+  std::vector<Task*> order;
+  rq.for_each([&](Task& t) { order.push_back(&t); });
+  EXPECT_EQ(order, (std::vector<Task*>{b.get(), a.get()}));
+}
+
+}  // namespace
+}  // namespace pinsim::os

@@ -1,0 +1,138 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pinsim::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(msec(3), [&] { order.push_back(3); });
+  engine.schedule(msec(1), [&] { order.push_back(1); });
+  engine.schedule(msec(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), msec(3));
+}
+
+TEST(EngineTest, TiesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(msec(5), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EngineTest, NestedScheduling) {
+  Engine engine;
+  std::vector<SimTime> fired;
+  engine.schedule(msec(1), [&] {
+    fired.push_back(engine.now());
+    engine.schedule(msec(1), [&] { fired.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], msec(1));
+  EXPECT_EQ(fired[1], msec(2));
+}
+
+TEST(EngineTest, HorizonStopsAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(msec(1), [&] { ++fired; });
+  engine.schedule(msec(10), [&] { ++fired; });
+  engine.run(msec(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), msec(1));  // stopped at the last fired event
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, EventAtExactHorizonFires) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule(msec(5), [&] { fired = true; });
+  engine.run(msec(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, EmptyRunToHorizonAdvancesClock) {
+  Engine engine;
+  engine.run(msec(7));
+  EXPECT_EQ(engine.now(), msec(7));
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  EventHandle handle = engine.schedule(msec(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, CancelAfterFireIsNoop) {
+  Engine engine;
+  int fired = 0;
+  EventHandle handle = engine.schedule(msec(1), [&] { ++fired; });
+  engine.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash
+}
+
+TEST(EngineTest, RunUntilPredicate) {
+  Engine engine;
+  int counter = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.schedule(msec(i), [&] { ++counter; });
+  }
+  const bool satisfied = engine.run_until([&] { return counter == 4; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(counter, 4);
+  EXPECT_EQ(engine.now(), msec(4));
+}
+
+TEST(EngineTest, RunUntilUnsatisfiedDrainsQueue) {
+  Engine engine;
+  engine.schedule(msec(1), [] {});
+  const bool satisfied = engine.run_until([] { return false; });
+  EXPECT_FALSE(satisfied);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, RejectsNegativeDelay) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule(-1, [] {}), InvariantViolation);
+}
+
+TEST(EngineTest, ReturnsEventCount) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) engine.schedule(msec(i + 1), [] {});
+  EXPECT_EQ(engine.run(), 5);
+}
+
+}  // namespace
+}  // namespace pinsim::sim

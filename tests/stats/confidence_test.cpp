@@ -1,0 +1,72 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pinsim::stats {
+namespace {
+
+TEST(ConfidenceTest, TCriticalKnownValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(5), 2.571, 1e-3);
+  EXPECT_NEAR(t_critical_95(19), 2.093, 1e-3);  // 20 repetitions
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+}
+
+TEST(ConfidenceTest, TCriticalMonotoneDecreasing) {
+  for (int dof = 1; dof < 30; ++dof) {
+    EXPECT_GE(t_critical_95(dof), t_critical_95(dof + 1));
+  }
+}
+
+TEST(ConfidenceTest, SingleSampleHasZeroWidth) {
+  Accumulator acc;
+  acc.add(10.0);
+  const Interval iv = confidence_95(acc);
+  EXPECT_DOUBLE_EQ(iv.mean, 10.0);
+  EXPECT_DOUBLE_EQ(iv.half_width, 0.0);
+}
+
+TEST(ConfidenceTest, KnownInterval) {
+  // Samples 1..5: mean 3, sd sqrt(2.5), sem sqrt(0.5), t(4) = 2.776.
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  const Interval iv = confidence_95(acc);
+  EXPECT_DOUBLE_EQ(iv.mean, 3.0);
+  EXPECT_NEAR(iv.half_width, 2.776 * std::sqrt(0.5), 1e-3);
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_FALSE(iv.contains(10.0));
+}
+
+TEST(ConfidenceTest, CoverageIsRoughly95Percent) {
+  // Property: the 95% CI of n=10 normal samples should contain the true
+  // mean about 95% of the time.
+  Rng rng(1234);
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    Accumulator acc;
+    for (int i = 0; i < 10; ++i) acc.add(rng.normal(50.0, 7.0));
+    if (confidence_95(acc).contains(50.0)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.93);
+  EXPECT_LT(rate, 0.97);
+}
+
+TEST(ConfidenceTest, SeparationDetectsDistinctMeans) {
+  Interval a{10.0, 1.0};
+  Interval b{20.0, 1.0};
+  Interval c{10.5, 1.0};
+  EXPECT_TRUE(a.separated_from(b));
+  EXPECT_TRUE(b.separated_from(a));
+  EXPECT_FALSE(a.separated_from(c));
+}
+
+}  // namespace
+}  // namespace pinsim::stats

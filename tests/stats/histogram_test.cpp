@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pinsim::stats {
+namespace {
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(7);
+  h.add(8);
+  EXPECT_EQ(h.bucket(0), 2);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2);  // 2 and 3
+  EXPECT_EQ(h.bucket(2), 3 - 1);  // 4 and 7
+  EXPECT_EQ(h.bucket(3), 1);  // 8
+  EXPECT_EQ(h.count(), 7);
+}
+
+TEST(Log2HistogramTest, LargeValues) {
+  Log2Histogram h;
+  h.add(1ull << 40);
+  EXPECT_EQ(h.bucket(40), 1);
+  EXPECT_EQ(h.bucket(39), 0);
+}
+
+TEST(Log2HistogramTest, RenderContainsCounts) {
+  Log2Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(10);
+  const std::string out = h.render("usecs");
+  EXPECT_NE(out.find("usecs"), std::string::npos);
+  EXPECT_NE(out.find("8 -> 15 : 5"), std::string::npos);
+}
+
+TEST(LinearHistogramTest, QuantilesOfUniformData) {
+  LinearHistogram h(1.0, 1000);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(LinearHistogramTest, ClampsToLastBucket) {
+  LinearHistogram h(1.0, 10);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_LE(h.quantile(0.5), 10.0);
+}
+
+TEST(LinearHistogramTest, RejectsInvalidArguments) {
+  EXPECT_THROW(LinearHistogram(0.0, 10), InvariantViolation);
+  LinearHistogram h(1.0, 10);
+  EXPECT_THROW(h.quantile(0.5), InvariantViolation);  // empty
+  EXPECT_THROW(h.add(-1.0), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace pinsim::stats

@@ -1,0 +1,41 @@
+#include "stats/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+namespace {
+
+TEST(SeriesTest, SetAndGet) {
+  Series s("vanilla VM");
+  s.set(2, Interval{4.5, 0.3});
+  EXPECT_FALSE(s.at(0).has_value());
+  EXPECT_FALSE(s.at(1).has_value());
+  ASSERT_TRUE(s.at(2).has_value());
+  EXPECT_DOUBLE_EQ(s.at(2)->mean, 4.5);
+  EXPECT_FALSE(s.at(3).has_value());
+}
+
+TEST(FigureTest, SeriesManagement) {
+  Figure fig("Fig X", {"Large", "xLarge"});
+  Series& a = fig.add_series("BM");
+  a.set(0, Interval{1.0, 0.0});
+  fig.add_series("CN");
+  EXPECT_EQ(fig.series().size(), 2u);
+  EXPECT_NE(fig.find_series("BM"), nullptr);
+  EXPECT_EQ(fig.find_series("nope"), nullptr);
+  EXPECT_THROW(fig.add_series("BM"), InvariantViolation);
+}
+
+TEST(FigureTest, MissingCellsStayAbsent) {
+  // The paper's Cassandra figure omits the Large instance (thrashing).
+  Figure fig("Fig 6", {"Large", "xLarge"});
+  Series& s = fig.add_series("vanilla CN");
+  s.set(1, Interval{3.5, 0.2});
+  EXPECT_FALSE(s.at(0).has_value());
+  EXPECT_TRUE(s.at(1).has_value());
+}
+
+}  // namespace
+}  // namespace pinsim::stats

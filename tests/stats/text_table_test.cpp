@@ -1,0 +1,62 @@
+#include "stats/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::stats {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantViolation);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(FormatIntervalTest, WithAndWithoutWidth) {
+  EXPECT_EQ(format_interval(Interval{1.5, 0.0}), "1.50");
+  EXPECT_EQ(format_interval(Interval{1.5, 0.25}), "1.50 ±0.25");
+  EXPECT_EQ(format_interval(Interval{1.234, 0.0}, 1), "1.2");
+}
+
+TEST(FigureTableTest, RendersAllSeries) {
+  Figure fig("Fig", {"Large", "xLarge"});
+  fig.add_series("BM").set(0, Interval{1.0, 0.1});
+  fig.find_series("BM");
+  auto& cn = fig.add_series("CN");
+  cn.set(0, Interval{2.0, 0.2});
+  cn.set(1, Interval{1.5, 0.0});
+  const std::string out = figure_table(fig).render();
+  EXPECT_NE(out.find("Large"), std::string::npos);
+  EXPECT_NE(out.find("2.00 ±0.20"), std::string::npos);
+  // BM has no xLarge point -> dash.
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(FigureBarsTest, ProducesBarsProportionalToValues) {
+  Figure fig("Shape check", {"x0"});
+  fig.add_series("small").set(0, Interval{1.0, 0.0});
+  fig.add_series("big").set(0, Interval{2.0, 0.0});
+  const std::string out = figure_bars(fig, 10);
+  // The big series' bar should be about twice the small one's.
+  EXPECT_NE(out.find("|#####|"), std::string::npos);
+  EXPECT_NE(out.find("|##########|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinsim::stats

@@ -1,0 +1,35 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim {
+namespace {
+
+TEST(UnitsTest, Constructors) {
+  EXPECT_EQ(nsec(1), 1);
+  EXPECT_EQ(usec(1), 1'000);
+  EXPECT_EQ(msec(1), 1'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000);
+  EXPECT_EQ(sec(3), 3 * msec(1000));
+}
+
+TEST(UnitsTest, FractionalConstructors) {
+  EXPECT_EQ(msec_f(1.5), 1'500'000);
+  EXPECT_EQ(usec_f(0.5), 500);
+  EXPECT_EQ(sec_f(2.5), 2'500'000'000LL);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(sec(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_seconds(msec(500)), 0.5);
+  EXPECT_DOUBLE_EQ(to_millis(msec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(usec(1500)), 1.5);
+}
+
+TEST(UnitsTest, RoundTrip) {
+  const SimDuration d = msec(1234);
+  EXPECT_EQ(sec_f(to_seconds(d)), d);
+}
+
+}  // namespace
+}  // namespace pinsim

@@ -1,0 +1,46 @@
+#include "virt/instance_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::virt {
+namespace {
+
+TEST(InstanceTypeTest, CatalogMatchesTableII) {
+  const auto& catalog = instance_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  EXPECT_EQ(catalog[0].name, "Large");
+  EXPECT_EQ(catalog[0].cores, 2);
+  EXPECT_EQ(catalog[0].memory_gb, 8);
+  EXPECT_EQ(catalog[5].name, "16xLarge");
+  EXPECT_EQ(catalog[5].cores, 64);
+  EXPECT_EQ(catalog[5].memory_gb, 256);
+}
+
+TEST(InstanceTypeTest, CoresDoubleAtEachStep) {
+  const auto& catalog = instance_catalog();
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].cores, 2 * catalog[i - 1].cores);
+    EXPECT_EQ(catalog[i].memory_gb, 2 * catalog[i - 1].memory_gb);
+  }
+}
+
+TEST(InstanceTypeTest, LookupByName) {
+  EXPECT_EQ(instance_by_name("4xLarge").cores, 16);
+  EXPECT_THROW(instance_by_name("mega"), InvariantViolation);
+}
+
+TEST(InstanceTypeTest, LookupByCores) {
+  EXPECT_EQ(instance_by_cores(8).name, "2xLarge");
+  EXPECT_THROW(instance_by_cores(7), InvariantViolation);
+}
+
+TEST(InstanceTypeTest, MemoryScalesWithCores) {
+  for (const auto& type : instance_catalog()) {
+    EXPECT_EQ(type.memory_gb, type.cores * 4);
+  }
+}
+
+}  // namespace
+}  // namespace pinsim::virt

@@ -1,0 +1,61 @@
+// Workload configuration invariants: the calibrated defaults must match
+// the paper's experiment protocol (§III).
+#include <gtest/gtest.h>
+
+#include "workload/cassandra.hpp"
+#include "workload/ffmpeg.hpp"
+#include "workload/mpi.hpp"
+#include "workload/wordpress.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+TEST(WorkloadConfigTest, FfmpegMatchesPaperProtocol) {
+  const FfmpegConfig config;
+  // One HD source, ~50 MB footprint, bounded thread scaling.
+  EXPECT_DOUBLE_EQ(config.working_set_mb, 50.0);
+  EXPECT_LE(config.max_threads, 16);  // "up to 16 CPU cores"
+  EXPECT_EQ(config.processes, 1);
+  EXPECT_DOUBLE_EQ(config.source_seconds, 30.0);  // the 30 s segment
+  EXPECT_GT(config.parallel_seconds, config.serial_seconds);
+}
+
+TEST(WorkloadConfigTest, WordPressMatchesPaperProtocol) {
+  const WordPressConfig config;
+  EXPECT_EQ(config.requests, 1000);  // "1,000 simultaneous web requests"
+  // Each request performs >= 3 IO interrupts: socket read, (disk), socket
+  // write — encoded in the driver; the knobs must keep IO present.
+  EXPECT_LT(config.page_cache_hit, 1.0);
+  EXPECT_GT(config.response_kb, 0.0);
+}
+
+TEST(WorkloadConfigTest, CassandraMatchesPaperProtocol) {
+  const CassandraConfig config;
+  EXPECT_EQ(config.operations, 1000);     // "1,000 synthesized operations"
+  EXPECT_EQ(config.server_threads, 100);  // "a set of 100 threads"
+  EXPECT_DOUBLE_EQ(config.write_fraction, 0.25);  // "a quarter ... writes"
+  EXPECT_DOUBLE_EQ(config.submit_seconds, 1.0);   // "within one second"
+  // The dataset must not fit the small instances' memory but fit the
+  // largest (Table II: 16..256 GB) — that is Figure 6's large-end story.
+  EXPECT_GT(config.dataset_gb, 16.0);
+  EXPECT_LE(config.dataset_gb, 256.0);
+}
+
+TEST(WorkloadConfigTest, MpiIsCommunicationDominatedAtScale) {
+  const MpiConfig config;
+  // At 64 ranks, per-iteration compute must be well below the root's
+  // serialized gather+broadcast handling (~2 x 63 messages x ~10 us).
+  const double compute_per_iter =
+      config.total_compute_seconds / (64.0 * config.iterations);
+  EXPECT_LT(compute_per_iter, 2 * 63 * 10e-6);
+}
+
+TEST(WorkloadConfigTest, GuestInflationSensitivitiesAreFractions) {
+  EXPECT_GT(WordPressConfig{}.guest_inflation_sensitivity, 0.0);
+  EXPECT_LT(WordPressConfig{}.guest_inflation_sensitivity, 1.0);
+  EXPECT_GT(CassandraConfig{}.guest_inflation_sensitivity, 0.0);
+  EXPECT_LT(CassandraConfig{}.guest_inflation_sensitivity, 1.0);
+}
+
+}  // namespace
+}  // namespace pinsim::workload

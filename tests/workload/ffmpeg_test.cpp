@@ -1,0 +1,121 @@
+#include "workload/ffmpeg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "virt/factory.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+RunResult run_on(Workload& workload, virt::PlatformKind kind,
+                 virt::CpuMode mode, const std::string& instance,
+                 std::uint64_t seed = 1) {
+  const virt::PlatformSpec spec{kind, mode,
+                                virt::instance_by_name(instance)};
+  virt::Host host(virt::host_topology_for(spec, hw::Topology::dell_r830()),
+                  hw::CostModel{}, seed);
+  auto platform = virt::make_platform(host, spec);
+  return workload.run(*platform, Rng(seed));
+}
+
+TEST(FfmpegTest, CompletesOnBareMetal) {
+  Ffmpeg ffmpeg;
+  const RunResult result = run_on(ffmpeg, virt::PlatformKind::BareMetal,
+                                  virt::CpuMode::Vanilla, "xLarge");
+  EXPECT_GT(result.metric_seconds, 1.0);
+  EXPECT_LT(result.metric_seconds, 60.0);
+  EXPECT_EQ(result.extras.at("threads"), 4);
+}
+
+TEST(FfmpegTest, ScalesWithCoresUpToSixteen) {
+  Ffmpeg ffmpeg;
+  const double large = run_on(ffmpeg, virt::PlatformKind::BareMetal,
+                              virt::CpuMode::Vanilla, "Large")
+                           .metric_seconds;
+  const double xlarge = run_on(ffmpeg, virt::PlatformKind::BareMetal,
+                               virt::CpuMode::Vanilla, "xLarge")
+                            .metric_seconds;
+  const double big = run_on(ffmpeg, virt::PlatformKind::BareMetal,
+                            virt::CpuMode::Vanilla, "4xLarge")
+                         .metric_seconds;
+  EXPECT_GT(large, xlarge);
+  EXPECT_GT(xlarge, big);
+  // Amdahl: never better than serial + parallel/16.
+  EXPECT_GT(big, 6.0);
+}
+
+TEST(FfmpegTest, ThreadPoolSizedFromVisibleCpus) {
+  Ffmpeg ffmpeg;
+  const auto& large = virt::instance_by_name("Large");
+
+  // Pinned container sees its cpuset: 2 threads.
+  {
+    const virt::PlatformSpec spec{virt::PlatformKind::Container,
+                                  virt::CpuMode::Pinned, large};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, 3);
+    auto platform = virt::make_platform(host, spec);
+    EXPECT_EQ(ffmpeg.threads_on(*platform), 2);
+  }
+  // Vanilla container sees the whole host: capped at the effective
+  // parallelism limit.
+  {
+    const virt::PlatformSpec spec{virt::PlatformKind::Container,
+                                  virt::CpuMode::Vanilla, large};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, 3);
+    auto platform = virt::make_platform(host, spec);
+    EXPECT_EQ(ffmpeg.threads_on(*platform), FfmpegConfig{}.max_threads);
+  }
+  // VM guest sees its vCPUs.
+  {
+    const virt::PlatformSpec spec{virt::PlatformKind::Vm,
+                                  virt::CpuMode::Vanilla, large};
+    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, 3);
+    auto platform = virt::make_platform(host, spec);
+    EXPECT_EQ(ffmpeg.threads_on(*platform), 2);
+  }
+}
+
+TEST(FfmpegTest, VmRoughlyDoublesBareMetalTime) {
+  // The paper's headline Figure 3 observation.
+  Ffmpeg ffmpeg;
+  const double bm = run_on(ffmpeg, virt::PlatformKind::BareMetal,
+                           virt::CpuMode::Vanilla, "xLarge", 7)
+                        .metric_seconds;
+  const double vm = run_on(ffmpeg, virt::PlatformKind::Vm,
+                           virt::CpuMode::Vanilla, "xLarge", 7)
+                        .metric_seconds;
+  EXPECT_GT(vm / bm, 1.7);
+  EXPECT_LT(vm / bm, 2.4);
+}
+
+TEST(FfmpegTest, MultiProcessModeSplitsWork) {
+  FfmpegConfig config;
+  config.processes = 5;
+  Ffmpeg split(config);
+  Ffmpeg whole;
+  const double split_time = run_on(split, virt::PlatformKind::BareMetal,
+                                   virt::CpuMode::Vanilla, "4xLarge", 9)
+                                .metric_seconds;
+  const double whole_time = run_on(whole, virt::PlatformKind::BareMetal,
+                                   virt::CpuMode::Vanilla, "4xLarge", 9)
+                                .metric_seconds;
+  // Same total encode work; splitting adds per-file startup/mux tails
+  // but also parallelizes across files, so both land within a small
+  // factor of each other.
+  EXPECT_GT(split_time, 0.25 * whole_time);
+  EXPECT_LT(split_time, 2.0 * whole_time);
+}
+
+TEST(FfmpegTest, DeterministicForSameSeed) {
+  Ffmpeg ffmpeg;
+  const double a = run_on(ffmpeg, virt::PlatformKind::Container,
+                          virt::CpuMode::Vanilla, "Large", 21)
+                       .metric_seconds;
+  const double b = run_on(ffmpeg, virt::PlatformKind::Container,
+                          virt::CpuMode::Vanilla, "Large", 21)
+                       .metric_seconds;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pinsim::workload

@@ -1,0 +1,95 @@
+#include "workload/mpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "virt/factory.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+RunResult run_on(Workload& workload, virt::PlatformKind kind,
+                 virt::CpuMode mode, const std::string& instance,
+                 std::uint64_t seed = 1) {
+  const virt::PlatformSpec spec{kind, mode,
+                                virt::instance_by_name(instance)};
+  virt::Host host(virt::host_topology_for(spec, hw::Topology::dell_r830()),
+                  hw::CostModel{}, seed);
+  auto platform = virt::make_platform(host, spec);
+  return workload.run(*platform, Rng(seed));
+}
+
+MpiConfig small_config() {
+  MpiConfig config;
+  config.iterations = 60;
+  config.total_compute_seconds = 2.0;
+  return config;
+}
+
+TEST(MpiTest, CompletesOnBareMetal) {
+  MpiSearch mpi(small_config());
+  const RunResult result = run_on(mpi, virt::PlatformKind::BareMetal,
+                                  virt::CpuMode::Vanilla, "xLarge");
+  EXPECT_GT(result.metric_seconds, 0.05);
+  EXPECT_EQ(result.extras.at("ranks"), 4);
+}
+
+TEST(MpiTest, ComputeDominatedAtSmallScaleShrinksWithRanks) {
+  MpiSearch mpi(small_config());
+  const double r4 = run_on(mpi, virt::PlatformKind::BareMetal,
+                           virt::CpuMode::Vanilla, "xLarge", 3)
+                        .metric_seconds;
+  const double r16 = run_on(mpi, virt::PlatformKind::BareMetal,
+                            virt::CpuMode::Vanilla, "4xLarge", 3)
+                         .metric_seconds;
+  EXPECT_GT(r4, r16);
+}
+
+TEST(MpiTest, ContainerWorseThanVmWhenCommunicationDominates) {
+  // The paper's Figure 4 headline: once communication dominates (large
+  // rank counts), containers (bridge-path messaging + cgroup accounting)
+  // are the worst platform while VMs approach bare-metal because the
+  // hypervisor carries intra-VM messages.
+  MpiConfig config;
+  config.iterations = 150;
+  config.total_compute_seconds = 1.5;  // fig4 per-iteration proportions
+  MpiSearch mpi(config);
+  const double cn = run_on(mpi, virt::PlatformKind::Container,
+                           virt::CpuMode::Vanilla, "16xLarge", 5)
+                        .metric_seconds;
+  const double vm = run_on(mpi, virt::PlatformKind::Vm,
+                           virt::CpuMode::Vanilla, "16xLarge", 5)
+                        .metric_seconds;
+  EXPECT_GT(cn, 1.3 * vm);
+}
+
+TEST(MpiTest, PrimeVariantCompletes) {
+  MpiConfig config = MpiPrime::prime_defaults();
+  config.iterations = 30;
+  config.total_compute_seconds = 1.5;
+  MpiPrime prime(config);
+  const RunResult result = run_on(prime, virt::PlatformKind::BareMetal,
+                                  virt::CpuMode::Vanilla, "2xLarge");
+  EXPECT_GT(result.metric_seconds, 0.0);
+}
+
+TEST(MpiTest, AllRanksExchangeMessages) {
+  MpiConfig config = small_config();
+  config.iterations = 10;
+  MpiSearch mpi(config);
+  const virt::PlatformSpec spec{virt::PlatformKind::BareMetal,
+                                virt::CpuMode::Vanilla,
+                                virt::instance_by_name("xLarge")};
+  virt::Host host(virt::host_topology_for(spec, hw::Topology::dell_r830()),
+                  hw::CostModel{}, 11);
+  auto platform = virt::make_platform(host, spec);
+  mpi.run(*platform, Rng(11));
+  // Root sends 3 broadcasts x 10 iterations; peers send 10 each.
+  std::int64_t total_messages = 0;
+  for (const auto& task : host.kernel().tasks()) {
+    total_messages += task->stats.messages_sent;
+  }
+  EXPECT_EQ(total_messages, 10 * 3 * 2);
+}
+
+}  // namespace
+}  // namespace pinsim::workload

@@ -1,0 +1,88 @@
+// Integration smoke grid: every workload on every platform configuration.
+//
+// Uses shrunken workload configurations so the whole grid stays fast; the
+// point is that all 4 workloads x 7 platform configurations complete and
+// produce a sane metric, and that runs are reproducible.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "virt/factory.hpp"
+#include "workload/cassandra.hpp"
+#include "workload/ffmpeg.hpp"
+#include "workload/mpi.hpp"
+#include "workload/wordpress.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+std::unique_ptr<Workload> small_workload(const std::string& which) {
+  if (which == "ffmpeg") {
+    FfmpegConfig config;
+    config.serial_seconds = 0.5;
+    config.parallel_seconds = 4.0;
+    return std::make_unique<Ffmpeg>(config);
+  }
+  if (which == "mpi") {
+    MpiConfig config;
+    config.iterations = 40;
+    config.total_compute_seconds = 1.0;
+    return std::make_unique<MpiSearch>(config);
+  }
+  if (which == "wordpress") {
+    WordPressConfig config;
+    config.requests = 80;
+    return std::make_unique<WordPress>(config);
+  }
+  CassandraConfig config;
+  config.operations = 80;
+  config.server_threads = 10;
+  return std::make_unique<Cassandra>(config);
+}
+
+class PlatformGridTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(PlatformGridTest, CompletesWithSaneMetric) {
+  const auto& [workload_name, series_index] = GetParam();
+  const auto& instance = virt::instance_by_name("xLarge");
+  const virt::PlatformSpec spec =
+      virt::paper_series(instance)[static_cast<std::size_t>(series_index)];
+
+  auto run_once = [&](std::uint64_t seed) {
+    virt::Host host(
+        virt::host_topology_for(spec, hw::Topology::dell_r830()),
+        hw::CostModel{}, seed);
+    auto platform = virt::make_platform(host, spec);
+    auto workload = small_workload(workload_name);
+    return workload->run(*platform, Rng(seed)).metric_seconds;
+  };
+
+  const double metric = run_once(100);
+  EXPECT_GT(metric, 0.0);
+  EXPECT_LT(metric, 600.0);
+  // Reproducibility across identical runs.
+  EXPECT_DOUBLE_EQ(metric, run_once(100));
+}
+
+std::string grid_test_name(
+    const ::testing::TestParamInfo<PlatformGridTest::ParamType>& info) {
+  const std::string workload_name = std::get<0>(info.param);
+  const int series_index = std::get<1>(info.param);
+  const auto series = virt::paper_series(virt::instance_by_name("xLarge"));
+  std::string label = series[static_cast<std::size_t>(series_index)].label();
+  for (char& c : label) {
+    if (c == ' ') c = '_';
+  }
+  return workload_name + "_" + label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllPlatforms, PlatformGridTest,
+    ::testing::Combine(::testing::Values("ffmpeg", "mpi", "wordpress",
+                                         "cassandra"),
+                       ::testing::Range(0, 7)),
+    grid_test_name);
+
+}  // namespace
+}  // namespace pinsim::workload

@@ -1,0 +1,62 @@
+#include "workload/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cassandra.hpp"
+#include "workload/ffmpeg.hpp"
+#include "workload/wordpress.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+TEST(ProfilesTest, TableOneMatchesPaper) {
+  const auto& table = table1_applications();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].name, "FFmpeg");
+  EXPECT_EQ(table[0].version, "3.4.6");
+  EXPECT_EQ(table[1].name, "Open MPI");
+  EXPECT_EQ(table[1].version, "2.1.1");
+  EXPECT_EQ(table[2].name, "WordPress");
+  EXPECT_EQ(table[2].version, "5.3.2");
+  EXPECT_EQ(table[3].name, "Cassandra");
+  EXPECT_EQ(table[3].version, "2.2");
+}
+
+TEST(ProfilesTest, MakeWorkloadBuildsEveryClass) {
+  for (const auto& spec : table1_applications()) {
+    auto workload = make_workload(spec.cls);
+    ASSERT_NE(workload, nullptr);
+    EXPECT_FALSE(workload->name().empty());
+  }
+}
+
+TEST(ProfilesTest, FfmpegIsCpuBound) {
+  Ffmpeg ffmpeg;
+  const MeasuredProfile profile = measure_profile(ffmpeg, 4, 1);
+  EXPECT_GT(profile.cpu_fraction, 0.7);
+  EXPECT_LT(profile.block_fraction, 0.2);
+  EXPECT_LT(profile.io_ops_per_second, 1.0);
+}
+
+TEST(ProfilesTest, WordPressIsIoBound) {
+  WordPressConfig config;
+  config.requests = 150;
+  WordPress wp(config);
+  const MeasuredProfile profile = measure_profile(wp, 16, 2);
+  // Short tasks blocked on sockets/disk most of their life.
+  EXPECT_GT(profile.block_fraction, 0.3);
+  EXPECT_GT(profile.io_ops_per_second, 50.0);
+}
+
+TEST(ProfilesTest, CassandraDoesHeavyIo) {
+  CassandraConfig config;
+  config.operations = 150;
+  config.server_threads = 20;
+  Cassandra cassandra(config);
+  const MeasuredProfile profile = measure_profile(cassandra, 16, 3);
+  EXPECT_GT(profile.io_ops_per_second, 10.0);
+  EXPECT_GT(profile.block_fraction, 0.2);
+}
+
+}  // namespace
+}  // namespace pinsim::workload

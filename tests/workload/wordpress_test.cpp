@@ -1,0 +1,80 @@
+#include "workload/wordpress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "virt/factory.hpp"
+
+namespace pinsim::workload {
+namespace {
+
+WordPressConfig small_config() {
+  // Enough requests to saturate a small instance (the paper's regime:
+  // 1,000 simultaneous requests against 4 cores).
+  WordPressConfig config;
+  config.requests = 1000;
+  return config;
+}
+
+RunResult run_on(Workload& workload, virt::PlatformKind kind,
+                 virt::CpuMode mode, const std::string& instance,
+                 std::uint64_t seed = 1) {
+  const virt::PlatformSpec spec{kind, mode,
+                                virt::instance_by_name(instance)};
+  virt::Host host(virt::host_topology_for(spec, hw::Topology::dell_r830()),
+                  hw::CostModel{}, seed);
+  auto platform = virt::make_platform(host, spec);
+  return workload.run(*platform, Rng(seed));
+}
+
+TEST(WordPressTest, CompletesAllRequests) {
+  WordPress wp(small_config());
+  const RunResult result = run_on(wp, virt::PlatformKind::BareMetal,
+                                  virt::CpuMode::Vanilla, "xLarge");
+  EXPECT_EQ(result.extras.at("requests"), 1000);
+  EXPECT_GT(result.metric_seconds, 0.0);
+  // Mean response cannot exceed the makespan.
+  EXPECT_LE(result.metric_seconds, result.wall_seconds);
+}
+
+TEST(WordPressTest, MoreCoresReduceResponseTime) {
+  WordPress wp(small_config());
+  const double small = run_on(wp, virt::PlatformKind::BareMetal,
+                              virt::CpuMode::Vanilla, "xLarge", 3)
+                           .metric_seconds;
+  const double big = run_on(wp, virt::PlatformKind::BareMetal,
+                            virt::CpuMode::Vanilla, "8xLarge", 3)
+                         .metric_seconds;
+  EXPECT_GT(small, big);
+}
+
+TEST(WordPressTest, VanillaContainerWorstPinnedContainerBest) {
+  // Figure 5's key observation at small instance sizes.
+  WordPress wp(small_config());
+  const double vanilla_cn = run_on(wp, virt::PlatformKind::Container,
+                                   virt::CpuMode::Vanilla, "xLarge", 5)
+                                .metric_seconds;
+  const double pinned_cn = run_on(wp, virt::PlatformKind::Container,
+                                  virt::CpuMode::Pinned, "xLarge", 5)
+                               .metric_seconds;
+  EXPECT_GT(vanilla_cn, 1.3 * pinned_cn);
+}
+
+TEST(WordPressTest, RequestsDoIo) {
+  WordPressConfig config;
+  config.requests = 50;
+  WordPress wp(config);
+  const virt::PlatformSpec spec{virt::PlatformKind::BareMetal,
+                                virt::CpuMode::Vanilla,
+                                virt::instance_by_name("2xLarge")};
+  virt::Host host(virt::host_topology_for(spec, hw::Topology::dell_r830()),
+                  hw::CostModel{}, 7);
+  auto platform = virt::make_platform(host, spec);
+  wp.run(*platform, Rng(7));
+  // Every request reads and writes the socket (plus page-cache misses).
+  EXPECT_GE(host.nic().completed(), 100);
+  EXPECT_GT(host.disk().completed(), 0);
+  EXPECT_GE(host.kernel().stats().irqs, 100);
+}
+
+}  // namespace
+}  // namespace pinsim::workload
