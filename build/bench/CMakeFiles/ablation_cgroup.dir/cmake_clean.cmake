@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cgroup.dir/ablation_cgroup.cpp.o"
+  "CMakeFiles/ablation_cgroup.dir/ablation_cgroup.cpp.o.d"
+  "ablation_cgroup"
+  "ablation_cgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

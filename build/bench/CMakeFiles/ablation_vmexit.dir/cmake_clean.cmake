@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vmexit.dir/ablation_vmexit.cpp.o"
+  "CMakeFiles/ablation_vmexit.dir/ablation_vmexit.cpp.o.d"
+  "ablation_vmexit"
+  "ablation_vmexit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vmexit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_practices.dir/best_practices.cpp.o"
+  "CMakeFiles/best_practices.dir/best_practices.cpp.o.d"
+  "best_practices"
+  "best_practices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_practices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chr_ranges.dir/chr_ranges.cpp.o"
+  "CMakeFiles/chr_ranges.dir/chr_ranges.cpp.o.d"
+  "chr_ranges"
+  "chr_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chr_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

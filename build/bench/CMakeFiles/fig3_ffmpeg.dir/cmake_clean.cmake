@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ffmpeg.dir/fig3_ffmpeg.cpp.o"
+  "CMakeFiles/fig3_ffmpeg.dir/fig3_ffmpeg.cpp.o.d"
+  "fig3_ffmpeg"
+  "fig3_ffmpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ffmpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

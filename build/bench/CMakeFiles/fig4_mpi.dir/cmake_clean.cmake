@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mpi.dir/fig4_mpi.cpp.o"
+  "CMakeFiles/fig4_mpi.dir/fig4_mpi.cpp.o.d"
+  "fig4_mpi"
+  "fig4_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_wordpress.dir/fig5_wordpress.cpp.o"
+  "CMakeFiles/fig5_wordpress.dir/fig5_wordpress.cpp.o.d"
+  "fig5_wordpress"
+  "fig5_wordpress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_wordpress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

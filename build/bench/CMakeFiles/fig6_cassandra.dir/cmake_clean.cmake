@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cassandra.dir/fig6_cassandra.cpp.o"
+  "CMakeFiles/fig6_cassandra.dir/fig6_cassandra.cpp.o.d"
+  "fig6_cassandra"
+  "fig6_cassandra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cassandra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

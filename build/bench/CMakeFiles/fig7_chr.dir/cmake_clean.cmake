@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_chr.dir/fig7_chr.cpp.o"
+  "CMakeFiles/fig7_chr.dir/fig7_chr.cpp.o.d"
+  "fig7_chr"
+  "fig7_chr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_chr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_multitasking.dir/fig8_multitasking.cpp.o"
+  "CMakeFiles/fig8_multitasking.dir/fig8_multitasking.cpp.o.d"
+  "fig8_multitasking"
+  "fig8_multitasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_multitasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_instances.dir/table2_instances.cpp.o"
+  "CMakeFiles/table2_instances.dir/table2_instances.cpp.o.d"
+  "table2_instances"
+  "table2_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_capacity.dir/web_capacity.cpp.o"
+  "CMakeFiles/web_capacity.dir/web_capacity.cpp.o.d"
+  "web_capacity"
+  "web_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_practices.cpp" "src/CMakeFiles/pinsim.dir/core/best_practices.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/best_practices.cpp.o.d"
+  "/root/repo/src/core/chr_advisor.cpp" "src/CMakeFiles/pinsim.dir/core/chr_advisor.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/chr_advisor.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/pinsim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/figure.cpp" "src/CMakeFiles/pinsim.dir/core/figure.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/figure.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/CMakeFiles/pinsim.dir/core/overhead.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/overhead.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/pinsim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/core/report.cpp.o.d"
+  "/root/repo/src/hw/cache_model.cpp" "src/CMakeFiles/pinsim.dir/hw/cache_model.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/hw/cache_model.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/CMakeFiles/pinsim.dir/hw/cost_model.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/hw/cost_model.cpp.o.d"
+  "/root/repo/src/hw/cpuset.cpp" "src/CMakeFiles/pinsim.dir/hw/cpuset.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/hw/cpuset.cpp.o.d"
+  "/root/repo/src/hw/disk.cpp" "src/CMakeFiles/pinsim.dir/hw/disk.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/hw/disk.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/CMakeFiles/pinsim.dir/hw/topology.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/hw/topology.cpp.o.d"
+  "/root/repo/src/os/cgroup.cpp" "src/CMakeFiles/pinsim.dir/os/cgroup.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/cgroup.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/pinsim.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/kernel_balance.cpp" "src/CMakeFiles/pinsim.dir/os/kernel_balance.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/kernel_balance.cpp.o.d"
+  "/root/repo/src/os/kernel_wakeup.cpp" "src/CMakeFiles/pinsim.dir/os/kernel_wakeup.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/kernel_wakeup.cpp.o.d"
+  "/root/repo/src/os/runqueue.cpp" "src/CMakeFiles/pinsim.dir/os/runqueue.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/runqueue.cpp.o.d"
+  "/root/repo/src/os/task.cpp" "src/CMakeFiles/pinsim.dir/os/task.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/os/task.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/pinsim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/stats/accumulator.cpp" "src/CMakeFiles/pinsim.dir/stats/accumulator.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/stats/accumulator.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/CMakeFiles/pinsim.dir/stats/confidence.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/stats/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/pinsim.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/series.cpp" "src/CMakeFiles/pinsim.dir/stats/series.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/stats/series.cpp.o.d"
+  "/root/repo/src/stats/text_table.cpp" "src/CMakeFiles/pinsim.dir/stats/text_table.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/stats/text_table.cpp.o.d"
+  "/root/repo/src/trace/cpudist.cpp" "src/CMakeFiles/pinsim.dir/trace/cpudist.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/trace/cpudist.cpp.o.d"
+  "/root/repo/src/trace/offcputime.cpp" "src/CMakeFiles/pinsim.dir/trace/offcputime.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/trace/offcputime.cpp.o.d"
+  "/root/repo/src/trace/sched_stats.cpp" "src/CMakeFiles/pinsim.dir/trace/sched_stats.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/trace/sched_stats.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/pinsim.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/trace/tracer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/pinsim.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pinsim.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/util/rng.cpp.o.d"
+  "/root/repo/src/virt/bare_metal.cpp" "src/CMakeFiles/pinsim.dir/virt/bare_metal.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/bare_metal.cpp.o.d"
+  "/root/repo/src/virt/container.cpp" "src/CMakeFiles/pinsim.dir/virt/container.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/container.cpp.o.d"
+  "/root/repo/src/virt/factory.cpp" "src/CMakeFiles/pinsim.dir/virt/factory.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/factory.cpp.o.d"
+  "/root/repo/src/virt/guest.cpp" "src/CMakeFiles/pinsim.dir/virt/guest.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/guest.cpp.o.d"
+  "/root/repo/src/virt/instance_type.cpp" "src/CMakeFiles/pinsim.dir/virt/instance_type.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/instance_type.cpp.o.d"
+  "/root/repo/src/virt/pinning.cpp" "src/CMakeFiles/pinsim.dir/virt/pinning.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/pinning.cpp.o.d"
+  "/root/repo/src/virt/platform.cpp" "src/CMakeFiles/pinsim.dir/virt/platform.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/platform.cpp.o.d"
+  "/root/repo/src/virt/vm.cpp" "src/CMakeFiles/pinsim.dir/virt/vm.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/vm.cpp.o.d"
+  "/root/repo/src/virt/vm_container.cpp" "src/CMakeFiles/pinsim.dir/virt/vm_container.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/virt/vm_container.cpp.o.d"
+  "/root/repo/src/workload/cassandra.cpp" "src/CMakeFiles/pinsim.dir/workload/cassandra.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/cassandra.cpp.o.d"
+  "/root/repo/src/workload/ffmpeg.cpp" "src/CMakeFiles/pinsim.dir/workload/ffmpeg.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/ffmpeg.cpp.o.d"
+  "/root/repo/src/workload/mpi.cpp" "src/CMakeFiles/pinsim.dir/workload/mpi.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/mpi.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/CMakeFiles/pinsim.dir/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/profiles.cpp.o.d"
+  "/root/repo/src/workload/wordpress.cpp" "src/CMakeFiles/pinsim.dir/workload/wordpress.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/wordpress.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/pinsim.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/pinsim.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

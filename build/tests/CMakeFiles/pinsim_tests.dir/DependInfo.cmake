@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/best_practices_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/best_practices_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/best_practices_test.cpp.o.d"
+  "/root/repo/tests/core/chr_advisor_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/chr_advisor_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/chr_advisor_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/overhead_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/overhead_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/shapes_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/core/shapes_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/core/shapes_test.cpp.o.d"
+  "/root/repo/tests/hw/cache_model_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/hw/cache_model_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/hw/cache_model_test.cpp.o.d"
+  "/root/repo/tests/hw/cost_model_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/hw/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/hw/cost_model_test.cpp.o.d"
+  "/root/repo/tests/hw/cpuset_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/hw/cpuset_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/hw/cpuset_test.cpp.o.d"
+  "/root/repo/tests/hw/disk_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/hw/disk_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/hw/disk_test.cpp.o.d"
+  "/root/repo/tests/hw/topology_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/hw/topology_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/hw/topology_test.cpp.o.d"
+  "/root/repo/tests/os/cgroup_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/cgroup_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/cgroup_test.cpp.o.d"
+  "/root/repo/tests/os/kernel_affinity_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_affinity_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_affinity_test.cpp.o.d"
+  "/root/repo/tests/os/kernel_cgroup_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_cgroup_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_cgroup_test.cpp.o.d"
+  "/root/repo/tests/os/kernel_io_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_io_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_io_test.cpp.o.d"
+  "/root/repo/tests/os/kernel_property_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_property_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_property_test.cpp.o.d"
+  "/root/repo/tests/os/kernel_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/kernel_test.cpp.o.d"
+  "/root/repo/tests/os/runqueue_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/runqueue_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/runqueue_test.cpp.o.d"
+  "/root/repo/tests/os/spin_recv_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/os/spin_recv_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/os/spin_recv_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_fuzz_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/sim/engine_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/sim/engine_fuzz_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/stats/accumulator_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/stats/accumulator_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/stats/accumulator_test.cpp.o.d"
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/series_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/stats/series_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/stats/series_test.cpp.o.d"
+  "/root/repo/tests/stats/text_table_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/stats/text_table_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/stats/text_table_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/trace/trace_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/units_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/util/units_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/util/units_test.cpp.o.d"
+  "/root/repo/tests/virt/container_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/container_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/container_test.cpp.o.d"
+  "/root/repo/tests/virt/guest_property_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/guest_property_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/guest_property_test.cpp.o.d"
+  "/root/repo/tests/virt/instance_type_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/instance_type_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/instance_type_test.cpp.o.d"
+  "/root/repo/tests/virt/platform_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/platform_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/platform_test.cpp.o.d"
+  "/root/repo/tests/virt/vm_container_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/vm_container_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/vm_container_test.cpp.o.d"
+  "/root/repo/tests/virt/vm_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/virt/vm_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/virt/vm_test.cpp.o.d"
+  "/root/repo/tests/workload/cassandra_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/cassandra_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/cassandra_test.cpp.o.d"
+  "/root/repo/tests/workload/config_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/config_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/config_test.cpp.o.d"
+  "/root/repo/tests/workload/ffmpeg_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/ffmpeg_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/ffmpeg_test.cpp.o.d"
+  "/root/repo/tests/workload/mpi_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/mpi_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/mpi_test.cpp.o.d"
+  "/root/repo/tests/workload/platform_grid_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/platform_grid_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/platform_grid_test.cpp.o.d"
+  "/root/repo/tests/workload/profiles_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/profiles_test.cpp.o.d"
+  "/root/repo/tests/workload/wordpress_test.cpp" "tests/CMakeFiles/pinsim_tests.dir/workload/wordpress_test.cpp.o" "gcc" "tests/CMakeFiles/pinsim_tests.dir/workload/wordpress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pinsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
