@@ -4,14 +4,23 @@
 // tables, ASCII bars, overhead ratios, and CSV. Repetition counts default
 // to the paper's protocol; set PINSIM_REPS to override (e.g. PINSIM_REPS=3
 // for a quick pass) — the output notes any override.
+//
+// Common CLI (parse with bench::parse_cli):
+//   --jobs N    fan the sweep across N worker threads (default: 1, or
+//               PINSIM_JOBS). Results are bit-identical to --jobs 1.
+//   --reps N    override the paper's repetition count (same as PINSIM_REPS)
+//   --json P    also write machine-readable results + timing to file P
 #pragma once
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
-#include <sstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/figure.hpp"
@@ -20,20 +29,76 @@
 
 namespace pinsim::bench {
 
-inline int repetitions_or(int paper_default) {
-  if (const char* env = std::getenv("PINSIM_REPS")) {
-    const int reps = std::atoi(env);
-    if (reps >= 1) return reps;
+struct BenchOptions {
+  int jobs = 1;
+  int reps_override = 0;  // 0 = keep the paper protocol / PINSIM_REPS
+  std::string json_path;  // empty = no JSON output
+};
+
+inline int env_int_or(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int value = std::atoi(env);
+    if (value >= 1) return value;
   }
-  return paper_default;
+  return fallback;
 }
 
-inline core::ExperimentRunner make_runner(int paper_reps) {
+/// Parse the common bench flags; exits with a usage message on errors so
+/// every bench binary behaves the same.
+inline BenchOptions parse_cli(int argc, char** argv) {
+  BenchOptions options;
+  options.jobs = env_int_or("PINSIM_JOBS", 1);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      options.jobs = std::atoi(value("--jobs"));
+    } else if (arg == "--reps") {
+      options.reps_override = std::atoi(value("--reps"));
+    } else if (arg == "--json") {
+      options.json_path = value("--json");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--jobs N] [--reps N] [--json PATH]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (options.jobs < 1) {
+    std::cerr << "--jobs must be >= 1\n";
+    std::exit(2);
+  }
+  if (options.reps_override < 0) {
+    std::cerr << "--reps must be >= 1\n";
+    std::exit(2);
+  }
+  return options;
+}
+
+inline int repetitions_or(int paper_default) {
+  return env_int_or("PINSIM_REPS", paper_default);
+}
+
+inline core::ExperimentRunner make_runner(int paper_reps,
+                                          const BenchOptions& options = {}) {
   core::ExperimentConfig config;
-  config.repetitions = repetitions_or(paper_reps);
+  config.repetitions = options.reps_override > 0 ? options.reps_override
+                                                 : repetitions_or(paper_reps);
   if (config.repetitions != paper_reps) {
-    std::cout << "[note] PINSIM_REPS override: " << config.repetitions
+    std::cout << "[note] repetition override: " << config.repetitions
               << " repetitions (paper protocol: " << paper_reps << ")\n";
+  }
+  if (options.jobs > 1) {
+    std::cout << "[note] sweeping with " << options.jobs
+              << " worker threads (results identical to --jobs 1)\n";
   }
   return core::ExperimentRunner(config);
 }
@@ -58,5 +123,25 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Write the machine-readable report when --json was given.
+inline void maybe_write_json(const BenchOptions& options,
+                             const std::string& artifact, int repetitions,
+                             double wall_seconds,
+                             const std::vector<const stats::Figure*>& figures) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::cerr << "cannot open " << options.json_path << " for writing\n";
+    std::exit(1);
+  }
+  core::BenchRunMeta meta;
+  meta.artifact = artifact;
+  meta.repetitions = repetitions;
+  meta.jobs = options.jobs;
+  meta.wall_seconds = wall_seconds;
+  core::write_bench_json(out, meta, figures);
+  std::cout << "json written to " << options.json_path << "\n";
+}
 
 }  // namespace pinsim::bench

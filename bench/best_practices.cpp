@@ -6,8 +6,9 @@
 #include "workload/ffmpeg.hpp"
 #include "workload/wordpress.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pinsim;
+  const bench::BenchOptions options = bench::parse_cli(argc, argv);
   bench::Stopwatch stopwatch;
   core::print_header(std::cout, "Best practices (paper §VI)",
                      "rule engine + verification against simulated data");
@@ -38,11 +39,12 @@ int main() {
   }
 
   std::cout << "\nVerifying practices 1-4 against fresh simulation data...\n";
-  const core::ExperimentRunner runner = bench::make_runner(5);
+  const core::ExperimentRunner runner = bench::make_runner(5, options);
 
   core::FigureSpec cpu_spec;
   cpu_spec.title = "cpu";
   cpu_spec.instances = {"Large", "xLarge", "2xLarge"};
+  cpu_spec.jobs = options.jobs;
   const stats::Figure cpu_figure = core::build_figure(
       runner, cpu_spec, [](const virt::InstanceType&) {
         return [] { return std::make_unique<workload::Ffmpeg>(); };
@@ -51,6 +53,7 @@ int main() {
   core::FigureSpec io_spec;
   io_spec.title = "io";
   io_spec.instances = {"xLarge", "2xLarge"};
+  io_spec.jobs = options.jobs;
   const stats::Figure io_figure = core::build_figure(
       runner, io_spec, [](const virt::InstanceType&) {
         return [] { return std::make_unique<workload::WordPress>(); };
@@ -65,6 +68,10 @@ int main() {
   }
   std::cout << (all_hold ? "All verified practices hold.\n"
                          : "Some practices did not verify; see above.\n");
-  std::cout << "bench wall time: " << stopwatch.seconds() << " s\n";
+  const double wall = stopwatch.seconds();
+  std::cout << "bench wall time: " << wall << " s\n";
+  bench::maybe_write_json(options, "Best practices",
+                          runner.config().repetitions, wall,
+                          {&cpu_figure, &io_figure});
   return 0;
 }

@@ -11,17 +11,19 @@
 #include "bench_common.hpp"
 #include "workload/ffmpeg.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pinsim;
+  const bench::BenchOptions options = bench::parse_cli(argc, argv);
   bench::Stopwatch stopwatch;
   core::print_header(std::cout, "Figure 3",
                      "FFmpeg transcode execution time by platform");
 
-  const core::ExperimentRunner runner = bench::make_runner(20);
+  const core::ExperimentRunner runner = bench::make_runner(20, options);
   core::FigureSpec spec;
   spec.title = "Figure 3 — FFmpeg (AVC->HEVC, 30 MB HD source)";
   spec.instances = core::fig3_instances();
   spec.on_point = bench::progress_point;
+  spec.jobs = options.jobs;
 
   const stats::Figure figure = core::build_figure(
       runner, spec, [](const virt::InstanceType&) {
@@ -30,6 +32,9 @@ int main() {
 
   std::cout << '\n';
   core::print_figure_report(std::cout, figure);
-  std::cout << "bench wall time: " << stopwatch.seconds() << " s\n";
+  const double wall = stopwatch.seconds();
+  std::cout << "bench wall time: " << wall << " s\n";
+  bench::maybe_write_json(options, "Figure 3",
+                          runner.config().repetitions, wall, {&figure});
   return 0;
 }

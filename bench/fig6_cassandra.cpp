@@ -12,17 +12,19 @@
 #include "bench_common.hpp"
 #include "workload/cassandra.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pinsim;
+  const bench::BenchOptions options = bench::parse_cli(argc, argv);
   bench::Stopwatch stopwatch;
   core::print_header(std::cout, "Figure 6",
                      "Cassandra mean response time (1,000 ops, 100 threads)");
 
-  const core::ExperimentRunner runner = bench::make_runner(20);
+  const core::ExperimentRunner runner = bench::make_runner(20, options);
   core::FigureSpec spec;
   spec.title = "Figure 6 — Cassandra (cassandra-stress, 25% writes)";
   spec.instances = core::fig456_instances();
   spec.on_point = bench::progress_point;
+  spec.jobs = options.jobs;
 
   const stats::Figure figure = core::build_figure(
       runner, spec, [](const virt::InstanceType&) {
@@ -31,10 +33,13 @@ int main() {
 
   std::cout << '\n';
   core::print_figure_report(std::cout, figure, [] {
-    core::ReportOptions options;
-    options.precision = 3;
-    return options;
+    core::ReportOptions report_options;
+    report_options.precision = 3;
+    return report_options;
   }());
-  std::cout << "bench wall time: " << stopwatch.seconds() << " s\n";
+  const double wall = stopwatch.seconds();
+  std::cout << "bench wall time: " << wall << " s\n";
+  bench::maybe_write_json(options, "Figure 6",
+                          runner.config().repetitions, wall, {&figure});
   return 0;
 }

@@ -8,37 +8,34 @@
 #include "bench_common.hpp"
 #include "workload/ffmpeg.hpp"
 
-namespace {
-
-using namespace pinsim;
-
-stats::Interval measure(virt::CpuMode mode, int processes, int repetitions) {
-  stats::Accumulator samples;
-  for (int rep = 0; rep < repetitions; ++rep) {
-    const std::uint64_t seed = 42 + 1000003ull * static_cast<unsigned>(rep);
-    const virt::PlatformSpec spec{virt::PlatformKind::Container, mode,
-                                  virt::instance_by_name("4xLarge")};
-    virt::Host host(hw::Topology::dell_r830(), hw::CostModel{}, seed);
-    auto platform = virt::make_platform(host, spec);
-    workload::FfmpegConfig config;
-    config.processes = processes;
-    workload::Ffmpeg ffmpeg(config);
-    samples.add(
-        ffmpeg.run(*platform, Rng(seed ^ 0x9e3779b97f4a7c15ull))
-            .metric_seconds);
-  }
-  return stats::confidence_95(samples);
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pinsim;
+  const bench::BenchOptions options = bench::parse_cli(argc, argv);
   bench::Stopwatch stopwatch;
   core::print_header(std::cout, "Figure 8",
                      "Multitasking: 1 large vs 30 small transcodes (4xLarge CN)");
 
-  const int reps = bench::repetitions_or(20);
+  const core::ExperimentRunner runner = bench::make_runner(20, options);
+  const auto& instance = virt::instance_by_name("4xLarge");
+  auto cell = [&](virt::CpuMode mode, int processes) {
+    return core::SweepCell{
+        virt::PlatformSpec{virt::PlatformKind::Container, mode, instance},
+        [processes] {
+          workload::FfmpegConfig config;
+          config.processes = processes;
+          return std::make_unique<workload::Ffmpeg>(config);
+        },
+        std::nullopt};
+  };
+  const std::vector<core::SweepCell> cells = {
+      cell(virt::CpuMode::Vanilla, 1),
+      cell(virt::CpuMode::Vanilla, 30),
+      cell(virt::CpuMode::Pinned, 1),
+      cell(virt::CpuMode::Pinned, 30),
+  };
+  const std::vector<core::Measurement> results =
+      runner.measure_all(cells, options.jobs);
+
   stats::Figure figure(
       "Figure 8 — FFmpeg multitasking on a 4xLarge container",
       {"1 Large Task", "30 Small Tasks"});
@@ -46,14 +43,14 @@ int main() {
   figure.add_series("Pinned CN");
   auto& vanilla = *figure.mutable_series("Vanilla CN");
   auto& pinned = *figure.mutable_series("Pinned CN");
-  vanilla.set(0, measure(virt::CpuMode::Vanilla, 1, reps));
-  vanilla.set(1, measure(virt::CpuMode::Vanilla, 30, reps));
-  pinned.set(0, measure(virt::CpuMode::Pinned, 1, reps));
-  pinned.set(1, measure(virt::CpuMode::Pinned, 30, reps));
+  vanilla.set(0, results[0].interval());
+  vanilla.set(1, results[1].interval());
+  pinned.set(0, results[2].interval());
+  pinned.set(1, results[3].interval());
 
-  core::ReportOptions options;
-  options.ratios = false;  // no BM series in this figure (as in the paper)
-  core::print_figure_report(std::cout, figure, options);
+  core::ReportOptions report_options;
+  report_options.ratios = false;  // no BM series in this figure (as in paper)
+  core::print_figure_report(std::cout, figure, report_options);
 
   const double gap_one = vanilla.at(0)->mean / pinned.at(0)->mean;
   const double gap_thirty = vanilla.at(1)->mean / pinned.at(1)->mean;
@@ -66,6 +63,9 @@ int main() {
                "30-file split also gains parallelism, so absolute "
                "makespans shrink; the PSO comparison is the meaningful "
                "signal here — see EXPERIMENTS.md.)\n";
-  std::cout << "bench wall time: " << stopwatch.seconds() << " s\n";
+  const double wall = stopwatch.seconds();
+  std::cout << "bench wall time: " << wall << " s\n";
+  bench::maybe_write_json(options, "Figure 8",
+                          runner.config().repetitions, wall, {&figure});
   return 0;
 }

@@ -6,11 +6,15 @@
 // before they make the figure benches crawl.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <future>
 #include <memory>
+#include <vector>
 
 #include "os/kernel.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "virt/factory.hpp"
 
 namespace {
@@ -28,6 +32,59 @@ void BM_EngineScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineScheduleDetached(benchmark::State& state) {
+  // The fire-and-forget path: no cancellation slot at all. Most of the
+  // simulator's events (wakeups, IO completions, housekeeping ticks)
+  // go through here.
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_detached(i, [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDetached);
+
+void BM_EngineScheduleCancelHalf(benchmark::State& state) {
+  // Handle-carrying events with a realistic cancellation mix — the
+  // kernel retracts roughly half its quantum-expiry events.
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(engine.schedule(i, [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      handles[i].cancel();
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleCancelHalf);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Round-trip cost of fanning trivial cells through the experiment
+  // pool: submit N tasks, gather N futures in order.
+  const int jobs = static_cast<int>(state.range(0));
+  util::ThreadPool pool(jobs);
+  for (auto _ : state) {
+    std::vector<std::future<int>> futures;
+    futures.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+    int sum = 0;
+    for (auto& future : futures) sum += future.get();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_RngDraws(benchmark::State& state) {
   Rng rng(42);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a Release-config perf smoke.
+#
+# 1. Configure + build + ctest in the default (RelWithDebInfo) tree —
+#    exactly the ROADMAP tier-1 command.
+# 2. Build micro_engine in a Release tree so perf-relevant flags
+#    (-O2 -DNDEBUG) compile on every PR, and run the engine micros once,
+#    writing machine-readable timings to BENCH_engine_latest.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== Release build of the engine micro-benchmarks =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release --target micro_engine -j
+
+echo "== engine micro smoke (BENCH_engine_latest.json) =="
+./build-release/bench/micro_engine \
+  --benchmark_filter='BM_Engine|BM_ThreadPool' \
+  --benchmark_out=BENCH_engine_latest.json \
+  --benchmark_out_format=json
+
+echo "verify: OK"

@@ -18,20 +18,31 @@ stats::Figure build_figure(const ExperimentRunner& runner,
     figure.add_series(platform_spec.label());
   }
 
+  // Flatten the sweep into cells, then fan out across workers. The cell
+  // list (and therefore the result order) is deterministic; only the
+  // execution order varies with jobs.
+  std::vector<SweepCell> cells;
+  std::vector<std::size_t> cell_x;
   for (std::size_t x = 0; x < spec.instances.size(); ++x) {
     const virt::InstanceType& instance =
         virt::instance_by_name(spec.instances[x]);
     const WorkloadFactory factory = factory_for(instance);
     for (const auto& platform_spec : virt::paper_series(instance)) {
       if (spec.skip && spec.skip(platform_spec)) continue;
-      const Measurement measurement =
-          runner.measure(platform_spec, factory);
-      const stats::Interval interval = measurement.interval();
-      stats::Series* series = figure.mutable_series(platform_spec.label());
-      PINSIM_CHECK(series != nullptr);
-      series->set(x, interval);
-      if (spec.on_point) spec.on_point(platform_spec, interval);
+      cells.push_back(SweepCell{platform_spec, factory, std::nullopt});
+      cell_x.push_back(x);
     }
+  }
+
+  const std::vector<Measurement> measurements =
+      runner.measure_all(cells, spec.jobs);
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& measurement = measurements[i];
+    const stats::Interval interval = measurement.interval();
+    stats::Series* series = figure.mutable_series(measurement.spec.label());
+    PINSIM_CHECK(series != nullptr);
+    series->set(cell_x[i], interval);
+    if (spec.on_point) spec.on_point(measurement.spec, interval);
   }
   return figure;
 }

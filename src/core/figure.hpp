@@ -18,12 +18,17 @@ struct FigureSpec {
   /// Skip a (series, instance) cell — e.g. Cassandra/Large thrashes and
   /// the paper omits it.
   std::function<bool(const virt::PlatformSpec&)> skip;
-  /// Optional progress callback (bench binaries print dots).
+  /// Optional progress callback (bench binaries print dots). Always
+  /// invoked in deterministic sweep order, even with jobs > 1.
   std::function<void(const virt::PlatformSpec&, const stats::Interval&)>
       on_point;
+  /// Worker threads for the sweep; 1 = serial. Results are identical
+  /// regardless of the value (see ExperimentRunner::measure_all).
+  int jobs = 1;
 };
 
 /// Run the full sweep: every paper series at every instance in the spec.
+/// Cells fan out across `spec.jobs` workers via measure_all().
 stats::Figure build_figure(const ExperimentRunner& runner,
                            const FigureSpec& spec,
                            const std::function<WorkloadFactory(

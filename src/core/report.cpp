@@ -62,4 +62,78 @@ void print_figure_report(std::ostream& out, const stats::Figure& figure,
   }
 }
 
+std::string json_escape(const std::string& text) {
+  std::ostringstream os;
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+void write_figure_json(std::ostream& out, const stats::Figure& figure) {
+  out << "    {\n      \"title\": \"" << json_escape(figure.title())
+      << "\",\n      \"x_labels\": [";
+  for (std::size_t i = 0; i < figure.x_labels().size(); ++i) {
+    if (i > 0) out << ", ";
+    out << '"' << json_escape(figure.x_labels()[i]) << '"';
+  }
+  out << "],\n      \"series\": [\n";
+  const auto& all = figure.series();
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    out << "        {\"name\": \"" << json_escape(all[s].name())
+        << "\", \"points\": [";
+    for (std::size_t x = 0; x < figure.x_labels().size(); ++x) {
+      if (x > 0) out << ", ";
+      const auto point = all[s].at(x);
+      if (point.has_value()) {
+        out << "{\"mean\": " << point->mean
+            << ", \"half_width\": " << point->half_width << "}";
+      } else {
+        out << "null";
+      }
+    }
+    out << "]}" << (s + 1 < all.size() ? "," : "") << '\n';
+  }
+  out << "      ]\n    }";
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& out, const BenchRunMeta& meta,
+                      const std::vector<const stats::Figure*>& figures) {
+  out << std::setprecision(17);
+  out << "{\n  \"artifact\": \"" << json_escape(meta.artifact)
+      << "\",\n  \"repetitions\": " << meta.repetitions
+      << ",\n  \"jobs\": " << meta.jobs
+      << ",\n  \"wall_seconds\": " << meta.wall_seconds
+      << ",\n  \"figures\": [\n";
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    write_figure_json(out, *figures[i]);
+    out << (i + 1 < figures.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace pinsim::core

@@ -83,7 +83,7 @@ void IoDevice::start(Pending pending) {
   const SimDuration service =
       sample_service(pending.request) + pending.extra_latency;
   // Move `pending` into the completion event.
-  engine_->schedule(service, [this, p = std::move(pending)]() mutable {
+  engine_->schedule_detached(service, [this, p = std::move(pending)]() mutable {
     finish(p);
     --busy_;
     if (!backlog_.empty()) {

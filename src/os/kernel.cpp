@@ -372,7 +372,7 @@ bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
       }
       case Action::Kind::Sleep: {
         Task* woken = &task;
-        engine_->schedule(action.duration,
+        engine_->schedule_detached(action.duration,
                           [this, woken] { wake_common(*woken, 0); });
         block_task(task);
         notify([&](SchedObserver& o) {

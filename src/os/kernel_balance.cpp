@@ -113,7 +113,7 @@ void Kernel::ensure_housekeeping() {
   }
   PINSIM_INFO("housekeeping armed at t=" << engine_->now());
   const SimDuration tick = costs_->cgroup_aggregate_interval;
-  engine_->schedule(tick, [this] { housekeeping_tick(); });
+  engine_->schedule_detached(tick, [this] { housekeeping_tick(); });
 }
 
 void Kernel::housekeeping_tick() {
@@ -135,7 +135,7 @@ void Kernel::housekeeping_tick() {
     periodic_balance();
     next_balance_ = now() + params_.balance_interval;
   }
-  engine_->schedule(costs_->cgroup_aggregate_interval,
+  engine_->schedule_detached(costs_->cgroup_aggregate_interval,
                     [this] { housekeeping_tick(); });
 }
 

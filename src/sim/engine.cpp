@@ -1,47 +1,90 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace pinsim::sim {
 
-void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+Engine::Entry Engine::pop_min() {
+  // Bottom-up extraction: walk the hole left by the root down the
+  // min-child path to a leaf (child comparisons only), then bubble the
+  // displaced last element up from there. The last element came from the
+  // bottom of the heap, so the up pass almost always stops immediately —
+  // this skips the per-level value comparison of a classic sift-down.
+  // The min-child scan is written so each step is a conditional move,
+  // not a data-dependent branch.
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  std::size_t hole = 0;
+  while (true) {
+    const std::size_t first = 4 * hole + 1;
+    if (first + 4 <= n) {
+      // Full fan-out: pairwise tournament so the two halves race in
+      // parallel instead of one serial cmov chain over four children.
+      const unsigned __int128 k0 = heap_[first].key;
+      const unsigned __int128 k1 = heap_[first + 1].key;
+      const unsigned __int128 k2 = heap_[first + 2].key;
+      const unsigned __int128 k3 = heap_[first + 3].key;
+      const std::size_t a = k1 < k0 ? first + 1 : first;
+      const unsigned __int128 ka = k1 < k0 ? k1 : k0;
+      const std::size_t b = k3 < k2 ? first + 3 : first + 2;
+      const unsigned __int128 kb = k3 < k2 ? k3 : k2;
+      const std::size_t best = kb < ka ? b : a;
+      heap_[hole] = heap_[best];
+      hole = best;
+      continue;
+    }
+    if (first >= n) break;
+    std::size_t best = first;
+    unsigned __int128 best_key = heap_[first].key;
+    for (std::size_t c = first + 1; c < n; ++c) {
+      const unsigned __int128 ck = heap_[c].key;
+      const bool lt = ck < best_key;
+      best = lt ? c : best;
+      best_key = lt ? ck : best_key;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) >> 2;
+    if (last.key >= heap_[parent].key) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = last;
+  return top;
 }
 
-bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
-}
-
-EventHandle Engine::schedule(SimDuration delay, std::function<void()> fn) {
-  PINSIM_CHECK_MSG(delay >= 0, "event scheduled in the past (delay=" << delay
-                                                                     << ")");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  PINSIM_CHECK_MSG(when >= now_,
-                   "event scheduled before now (" << when << " < " << now_
-                                                  << ")");
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
+void Engine::release_node(std::uint32_t slot) {
+  // Bumping the generation invalidates every outstanding handle to the
+  // node's previous tenant; stale cancel()/pending() become no-ops.
+  Node& n = node(slot);
+  ++n.gen;
+  n.cancelled = false;
+  n.fn = Callback();
+  free_nodes_.push_back(slot);
 }
 
 bool Engine::step(SimTime horizon) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.when > horizon) return false;
-    if (top.state->cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    if (when_of(heap_.front()) > horizon) return false;
+    const Entry top = pop_min();
+    Node& n = node(top.node);
+    if (n.cancelled) {
+      release_node(top.node);
       continue;
     }
-    // Move out before popping; the callback may schedule further events.
-    Entry entry{top.when, top.seq, std::move(const_cast<Entry&>(top).fn),
-                top.state};
-    queue_.pop();
-    now_ = entry.when;
-    entry.state->fired = true;
-    entry.fn();
+    now_ = when_of(top);
+    // Move the callback out and release the node before invoking, so the
+    // event reads as no-longer-pending from inside its own callback and
+    // nested scheduling can reuse the node immediately.
+    Callback fn = std::move(n.fn);
+    release_node(top.node);
+    fn();
     return true;
   }
   return false;
@@ -52,7 +95,7 @@ std::int64_t Engine::run(SimTime horizon) {
   while (step(horizon)) {
     ++fired;
   }
-  if (horizon != kNoHorizon && now_ < horizon && queue_.empty()) {
+  if (horizon != kNoHorizon && now_ < horizon && heap_.empty()) {
     now_ = horizon;
   }
   return fired;

@@ -1,19 +1,30 @@
 // Discrete-event simulation engine.
 //
-// A single monotonically advancing clock and a priority queue of events.
+// A single monotonically advancing clock and a binary heap of events.
 // Events scheduled at the same instant fire in scheduling order (FIFO by
 // sequence number) so the simulation is fully deterministic. Events can be
 // cancelled through the returned handle — the kernel uses this to retract
 // a core's quantum-expiry event when the core reschedules early.
+//
+// Hot-path design: each event's callback (a small-buffer-optimized
+// move-only util::MoveFunction) and cancellation flag live in a slab
+// node recycled through a free list — no shared_ptr control block per
+// event. The heap itself holds only trivially-copyable 24-byte entries
+// (time, sequence, node index), so sift-up/down moves are plain copies
+// instead of type-erased callback moves. Generation counters on the
+// nodes make stale handles to recycled nodes inert. Fire-and-forget
+// call sites use schedule_detached(), which skips handle construction.
+// Handles must not outlive the engine that issued them (they hold a raw
+// pointer into it); default-constructed handles are inert.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/move_function.hpp"
 #include "util/units.hpp"
 
 namespace pinsim::sim {
@@ -21,7 +32,8 @@ namespace pinsim::sim {
 class Engine;
 
 /// Cancellation handle for a scheduled event. Default-constructed handles
-/// are inert; cancelling twice is a no-op.
+/// are inert; cancelling twice is a no-op. Valid only while the issuing
+/// Engine is alive.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -35,24 +47,38 @@ class EventHandle {
 
  private:
   friend class Engine;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Engine* engine, std::uint32_t slot, std::uint64_t gen)
+      : engine_(engine), slot_(slot), gen_(gen) {}
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Engine {
  public:
+  using Callback = util::MoveFunction;
+
+  Engine() = default;
+  // EventHandles hold raw pointers into the engine, so it must stay put.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   SimTime now() const { return now_; }
 
+  // The schedule path is defined inline (below the class) so callers in
+  // other translation units can collapse the callback's type-erased
+  // construction and moves into direct stores into the slab node.
+
   /// Schedule `fn` to run `delay` from now. `delay` must be >= 0.
-  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+  EventHandle schedule(SimDuration delay, Callback fn);
 
   /// Schedule `fn` at the absolute instant `when` (>= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Fire-and-forget variants: no cancellation handle returned. Cheaper
+  /// than schedule(); use when the caller discards the handle.
+  void schedule_detached(SimDuration delay, Callback fn);
+  void schedule_detached_at(SimTime when, Callback fn);
 
   /// Run until the event queue drains or `horizon` is reached (events at
   /// exactly `horizon` still fire). Returns the number of events fired.
@@ -63,32 +89,142 @@ class Engine {
   bool run_until(const std::function<bool()>& predicate,
                  SimTime horizon = kNoHorizon);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
 
   static constexpr SimTime kNoHorizon = INT64_MAX;
 
  private:
+  friend class EventHandle;
+
+  /// Slab node: the event's callback plus cancellation state. The
+  /// generation counter distinguishes the current tenant event from
+  /// stale handles to earlier tenants of the same node.
+  struct Node {
+    Callback fn;
+    std::uint64_t gen = 0;
+    bool cancelled = false;
+  };
+
+  /// Heap entry: trivially copyable so sift moves are plain copies. The
+  /// (when, seq) ordering key is packed into one 128-bit integer so the
+  /// comparison is a single sub/sbb with no data-dependent branch — the
+  /// min-child selection in pop_min() runs on conditional moves instead
+  /// of mispredicting per level. `when` is never negative (the clock
+  /// starts at zero and only advances), so the unsigned compare is safe.
   struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    unsigned __int128 key;
+    std::uint32_t node;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static unsigned __int128 make_key(SimTime when, std::uint64_t seq) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(when))
+            << 64) |
+           seq;
+  }
+  static SimTime when_of(const Entry& e) {
+    return static_cast<SimTime>(static_cast<std::uint64_t>(e.key >> 64));
+  }
 
   /// Fire the next event; returns false when the queue is empty or the
   /// next event lies beyond `horizon`.
   bool step(SimTime horizon);
 
+  // 4-ary min-heap: half the depth of a binary heap and the four
+  // children share cache lines, so drain-heavy workloads sift faster.
+  void sift_up(std::size_t i) {
+    const Entry value = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (value.key >= heap_[parent].key) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = value;
+  }
+  Entry pop_min();
+
+  std::uint32_t push_event(SimTime when, Callback&& fn) {
+    const std::uint32_t slot = acquire_node();
+    node(slot).fn = std::move(fn);
+    heap_.push_back(Entry{make_key(when, next_seq_++), slot});
+    sift_up(heap_.size() - 1);
+    return slot;
+  }
+  std::uint32_t acquire_node() {
+    if (!free_nodes_.empty()) {
+      const std::uint32_t slot = free_nodes_.back();
+      free_nodes_.pop_back();
+      return slot;
+    }
+    if ((node_count_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(
+          std::make_unique<Node[]>(std::size_t{1} << kChunkShift));
+    }
+    return node_count_++;
+  }
+  void release_node(std::uint32_t node);
+
+  // Nodes live in fixed-size chunks so growing the slab never relocates
+  // existing nodes — a vector<Node> would move-construct every live
+  // callback on each capacity doubling, which dominated the schedule
+  // path's cost.
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 nodes per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+  Node& node(std::uint32_t i) { return chunks_[i >> kChunkShift][i & kChunkMask]; }
+  const Node& node(std::uint32_t i) const {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  bool node_pending(std::uint32_t i, std::uint64_t gen) const {
+    const Node& n = node(i);
+    return n.gen == gen && !n.cancelled;
+  }
+  void node_cancel(std::uint32_t i, std::uint64_t gen) {
+    Node& n = node(i);
+    if (n.gen == gen) n.cancelled = true;
+  }
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;  // 4-ary min-heap ordered by (when, seq)
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t node_count_ = 0;
+  std::vector<std::uint32_t> free_nodes_;
 };
+
+inline void EventHandle::cancel() {
+  if (engine_ != nullptr) engine_->node_cancel(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return engine_ != nullptr && engine_->node_pending(slot_, gen_);
+}
+
+inline EventHandle Engine::schedule(SimDuration delay, Callback fn) {
+  PINSIM_CHECK_MSG(delay >= 0, "event scheduled in the past (delay=" << delay
+                                                                     << ")");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+inline EventHandle Engine::schedule_at(SimTime when, Callback fn) {
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event scheduled before now (" << when << " < " << now_
+                                                  << ")");
+  const std::uint32_t slot = push_event(when, std::move(fn));
+  return EventHandle(this, slot, node(slot).gen);
+}
+
+inline void Engine::schedule_detached(SimDuration delay, Callback fn) {
+  PINSIM_CHECK_MSG(delay >= 0, "event scheduled in the past (delay=" << delay
+                                                                     << ")");
+  schedule_detached_at(now_ + delay, std::move(fn));
+}
+
+inline void Engine::schedule_detached_at(SimTime when, Callback fn) {
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event scheduled before now (" << when << " < " << now_
+                                                  << ")");
+  push_event(when, std::move(fn));
+}
 
 }  // namespace pinsim::sim

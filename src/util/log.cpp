@@ -1,23 +1,30 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace pinsim {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::ostream* g_sink = nullptr;
+// Serializes sink writes so concurrent experiment workers emit whole
+// lines (set_sink itself stays a single-threaded setup call).
+std::mutex g_sink_mutex;
 }  // namespace
 
 void Log::set_level(LogLevel level) { g_level = level; }
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 bool Log::enabled(LogLevel level) {
-  return static_cast<int>(level) >= static_cast<int>(g_level);
+  return static_cast<int>(level) >=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
 }
 
 void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
   out << "[" << to_string(level) << "] " << message << '\n';
 }

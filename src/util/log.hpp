@@ -1,9 +1,11 @@
 // Minimal leveled logger.
 //
-// The simulator is deterministic and single-threaded, so logging needs no
-// synchronization. Verbosity defaults to Warn so that test and bench
-// output stays clean; debugging a scheduler decision trail is a matter of
-// `Log::set_level(LogLevel::Trace)`.
+// Each simulation is deterministic and single-threaded, but the parallel
+// experiment harness runs many simulations at once, so the sink is
+// mutex-guarded: every write() emits one complete line, never an
+// interleaved fragment. Verbosity defaults to Warn so that test and
+// bench output stays clean; debugging a scheduler decision trail is a
+// matter of `Log::set_level(LogLevel::Trace)`.
 #pragma once
 
 #include <iosfwd>

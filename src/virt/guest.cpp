@@ -421,7 +421,7 @@ bool GuestKernel::advance_actions(int vcpu, os::Task& task) {
       }
       case os::Action::Kind::Sleep: {
         os::Task* sleeper = &task;
-        host_->engine().schedule(action.duration,
+        host_->engine().schedule_detached(action.duration,
                                  [this, sleeper] { wake(*sleeper, 0); });
         block_task(task);
         return false;
@@ -513,7 +513,7 @@ void GuestKernel::ensure_housekeeping() {
   for (auto& next : cgroup_next_period_) {
     next = std::max(next, host_->engine().now());
   }
-  host_->engine().schedule(host_->costs().cgroup_aggregate_interval,
+  host_->engine().schedule_detached(host_->costs().cgroup_aggregate_interval,
                            [this] { housekeeping_tick(); });
 }
 
@@ -630,7 +630,7 @@ void GuestKernel::housekeeping_tick() {
       }
     }
   }
-  host_->engine().schedule(costs.cgroup_aggregate_interval,
+  host_->engine().schedule_detached(costs.cgroup_aggregate_interval,
                            [this] { housekeeping_tick(); });
 }
 

@@ -153,7 +153,7 @@ RunResult Cassandra::run(virt::Platform& platform, Rng rng) {
     auto* platform_ptr = &platform;
     os::Task* task = threads[static_cast<std::size_t>(target)];
     auto queue = queues[static_cast<std::size_t>(target)];
-    platform.engine().schedule(offset, [platform_ptr, task, queue] {
+    platform.engine().schedule_detached(offset, [platform_ptr, task, queue] {
       queue->submit_times.push_back(platform_ptr->engine().now());
       platform_ptr->post(*task, 1);
     });

@@ -73,7 +73,7 @@ RunResult WordPress::run(virt::Platform& platform, Rng rng) {
     const WordPressConfig* config = &config_;
     Completion* latch = &completion;
     const int id = i;
-    platform.engine().schedule(offset, [platform_ptr, config, latch, id,
+    platform.engine().schedule_detached(offset, [platform_ptr, config, latch, id,
                                         request_rng]() mutable {
       virt::WorkTaskConfig task_config;
       task_config.name = "req" + std::to_string(id);

@@ -126,6 +126,68 @@ TEST(EngineTest, RunUntilUnsatisfiedDrainsQueue) {
 TEST(EngineTest, RejectsNegativeDelay) {
   Engine engine;
   EXPECT_THROW(engine.schedule(-1, [] {}), InvariantViolation);
+  EXPECT_THROW(engine.schedule_detached(-1, [] {}), InvariantViolation);
+}
+
+TEST(EngineTest, DetachedEventsFireInOrderWithHandledOnes) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_detached(msec(2), [&] { order.push_back(2); });
+  engine.schedule(msec(1), [&] { order.push_back(1); });
+  engine.schedule_detached(msec(1), [&] { order.push_back(11); });
+  engine.schedule(msec(3), [&] { order.push_back(3); });
+  EXPECT_EQ(engine.run(), 4);
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2, 3}));
+}
+
+TEST(EngineTest, DetachedNestedScheduling) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_detached(msec(1), [&] {
+    ++fired;
+    engine.schedule_detached(msec(1), [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), msec(2));
+}
+
+TEST(EngineTest, StaleHandleCannotCancelSlotReuser) {
+  // After an event fires, its cancellation slot is recycled. A stale
+  // handle to the fired event must not affect the slot's next tenant.
+  Engine engine;
+  bool first = false;
+  bool second = false;
+  EventHandle stale = engine.schedule(msec(1), [&] { first = true; });
+  engine.run();
+  EXPECT_TRUE(first);
+  EventHandle fresh = engine.schedule(msec(1), [&] { second = true; });
+  stale.cancel();  // must be a no-op against the recycled slot
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_FALSE(stale.pending());
+  engine.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EngineTest, NotPendingInsideOwnCallback) {
+  Engine engine;
+  EventHandle handle;
+  bool was_pending = true;
+  handle = engine.schedule(msec(1), [&] { was_pending = handle.pending(); });
+  engine.run();
+  EXPECT_FALSE(was_pending);
+}
+
+TEST(EngineTest, CancelledSlotIsRecycledAfterDrain) {
+  // Cancelled entries release their slots as the queue pops them; a
+  // long-running sim with heavy cancel traffic must not grow the slab.
+  Engine engine;
+  for (int round = 0; round < 100; ++round) {
+    EventHandle handle = engine.schedule(msec(1), [] {});
+    handle.cancel();
+    engine.run();
+  }
+  EXPECT_TRUE(engine.empty());
 }
 
 TEST(EngineTest, ReturnsEventCount) {

@@ -1,0 +1,86 @@
+#include "util/move_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace pinsim::util {
+namespace {
+
+TEST(MoveFunctionTest, DefaultIsEmpty) {
+  MoveFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(MoveFunctionTest, InvokesSmallLambda) {
+  int calls = 0;
+  MoveFunction fn([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MoveFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  MoveFunction a([&calls] { ++calls; });
+  MoveFunction b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(MoveFunctionTest, MoveAssignReplacesTarget) {
+  int first = 0, second = 0;
+  MoveFunction fn([&first] { ++first; });
+  fn = MoveFunction([&second] { ++second; });
+  fn();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(MoveFunctionTest, HoldsMoveOnlyCallable) {
+  auto flag = std::make_unique<int>(7);
+  int seen = 0;
+  MoveFunction fn([flag = std::move(flag), &seen] { seen = *flag; });
+  fn();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(MoveFunctionTest, LargeCallableSpillsToHeapAndStillRuns) {
+  struct Big {
+    double payload[16];  // 128 B: larger than the inline buffer
+  };
+  Big big{};
+  big.payload[15] = 3.5;
+  double seen = 0;
+  MoveFunction fn([big, &seen] { seen = big.payload[15]; });
+  MoveFunction moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 3.5);
+}
+
+TEST(MoveFunctionTest, DestroysCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  {
+    MoveFunction fn([counter] { (void)counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(MoveFunctionTest, DestroysHeapCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  struct Pad {
+    double padding[16];
+  };
+  {
+    MoveFunction fn([counter, pad = Pad{}] { (void)counter; (void)pad; });
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace pinsim::util
