@@ -3,7 +3,11 @@
 #
 # 1. Configure + build + ctest in the default (RelWithDebInfo) tree —
 #    exactly the ROADMAP tier-1 command.
-# 2. Build micro_engine in a Release tree so perf-relevant flags
+# 2. Build + run the tier-1 tests under ASan+UBSan (the indexed-heap
+#    runqueue and the flat cgroup slice arrays index by raw task/cpu
+#    ids; the sanitizers catch any stale-index use the unit tests
+#    would miss). Skip with PINSIM_SKIP_SANITIZERS=1 for a quick pass.
+# 3. Build micro_engine in a Release tree so perf-relevant flags
 #    (-O2 -DNDEBUG) compile on every PR, and run the engine micros once,
 #    writing machine-readable timings to BENCH_engine_latest.json.
 set -euo pipefail
@@ -14,6 +18,14 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "== tier-1 under ASan+UBSan =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  cmake --build build-asan --target pinsim_tests -j
+  (cd build-asan && ctest --output-on-failure -j)
+fi
 
 echo "== Release build of the engine micro-benchmarks =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release

@@ -12,7 +12,8 @@ CpuSet CpuSet::range(int lo, int hi) {
   PINSIM_CHECK(lo >= 0 && hi <= kMaxCpus && lo <= hi);
   CpuSet set;
   for (int cpu = lo; cpu < hi; ++cpu) {
-    set.bits_.set(static_cast<std::size_t>(cpu));
+    set.words_[static_cast<std::size_t>(cpu / 64)] |= std::uint64_t{1}
+                                                      << (cpu % 64);
   }
   return set;
 }
@@ -25,49 +26,90 @@ CpuSet CpuSet::of(std::initializer_list<CpuId> ids) {
 
 void CpuSet::add(CpuId cpu) {
   PINSIM_CHECK(cpu >= 0 && cpu < kMaxCpus);
-  bits_.set(static_cast<std::size_t>(cpu));
+  words_[static_cast<std::size_t>(cpu / 64)] |= std::uint64_t{1} << (cpu % 64);
 }
 
 void CpuSet::remove(CpuId cpu) {
   PINSIM_CHECK(cpu >= 0 && cpu < kMaxCpus);
-  bits_.reset(static_cast<std::size_t>(cpu));
+  words_[static_cast<std::size_t>(cpu / 64)] &=
+      ~(std::uint64_t{1} << (cpu % 64));
 }
 
 bool CpuSet::contains(CpuId cpu) const {
   if (cpu < 0 || cpu >= kMaxCpus) return false;
-  return bits_.test(static_cast<std::size_t>(cpu));
+  return (words_[static_cast<std::size_t>(cpu / 64)] >> (cpu % 64)) & 1;
 }
 
 CpuSet CpuSet::operator&(const CpuSet& other) const {
   CpuSet result;
-  result.bits_ = bits_ & other.bits_;
+  for (std::size_t w = 0; w < static_cast<std::size_t>(kWords); ++w) {
+    result.words_[w] = words_[w] & other.words_[w];
+  }
   return result;
 }
 
 CpuSet CpuSet::operator|(const CpuSet& other) const {
   CpuSet result;
-  result.bits_ = bits_ | other.bits_;
+  for (std::size_t w = 0; w < static_cast<std::size_t>(kWords); ++w) {
+    result.words_[w] = words_[w] | other.words_[w];
+  }
+  return result;
+}
+
+CpuSet CpuSet::operator~() const {
+  CpuSet result;
+  for (std::size_t w = 0; w < static_cast<std::size_t>(kWords); ++w) {
+    result.words_[w] = ~words_[w];
+  }
   return result;
 }
 
 bool CpuSet::subset_of(const CpuSet& other) const {
-  return (bits_ & ~other.bits_).none();
+  for (std::size_t w = 0; w < static_cast<std::size_t>(kWords); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
 }
 
 CpuId CpuSet::first() const {
   PINSIM_CHECK(!empty());
-  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    if (bits_.test(static_cast<std::size_t>(cpu))) return cpu;
+  return first_set_after(-1);
+}
+
+CpuId CpuSet::first_set_after(CpuId cpu) const {
+  const int start = cpu + 1;
+  if (start >= kMaxCpus) return -1;
+  std::size_t w = static_cast<std::size_t>(start / 64);
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (start % 64));
+  while (true) {
+    if (bits != 0) {
+      return static_cast<CpuId>(w) * 64 + std::countr_zero(bits);
+    }
+    if (++w >= static_cast<std::size_t>(kWords)) return -1;
+    bits = words_[w];
   }
-  return -1;  // unreachable
+}
+
+CpuId CpuSet::nth_set(int k) const {
+  PINSIM_CHECK(k >= 0);
+  for (std::size_t w = 0; w < static_cast<std::size_t>(kWords); ++w) {
+    std::uint64_t bits = words_[w];
+    const int in_word = std::popcount(bits);
+    if (k >= in_word) {
+      k -= in_word;
+      continue;
+    }
+    while (k-- > 0) bits &= bits - 1;  // drop the k lowest set bits
+    return static_cast<CpuId>(w) * 64 + std::countr_zero(bits);
+  }
+  PINSIM_CHECK_MSG(false, "nth_set past the end of the set");
+  return -1;
 }
 
 std::vector<CpuId> CpuSet::to_vector() const {
   std::vector<CpuId> ids;
   ids.reserve(static_cast<std::size_t>(count()));
-  for (int cpu = 0; cpu < kMaxCpus; ++cpu) {
-    if (bits_.test(static_cast<std::size_t>(cpu))) ids.push_back(cpu);
-  }
+  for_each([&](CpuId cpu) { ids.push_back(cpu); });
   return ids;
 }
 

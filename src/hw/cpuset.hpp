@@ -1,11 +1,17 @@
 // Set of logical CPUs.
 //
-// Thin wrapper over std::bitset sized for the largest host we model
-// (the paper's Dell R830 exposes 112 logical CPUs; 256 leaves headroom).
-// Used for task affinity masks, cgroup cpusets, and pinning plans.
+// Four 64-bit words sized for the largest host we model (the paper's
+// Dell R830 exposes 112 logical CPUs; 256 leaves headroom). Used for
+// task affinity masks, cgroup cpusets, pinning plans — and, since the
+// scheduler hot-path overhaul, for the kernel's incrementally-updated
+// idle/busy masks. All queries are ctz/popcount word scans; hot-path
+// callers iterate set bits via for_each / first_set_after / nth_set and
+// never materialize a std::vector<CpuId> (to_vector is for tests and
+// reporting only).
 #pragma once
 
-#include <bitset>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,6 +23,7 @@ using CpuId = int;
 class CpuSet {
  public:
   static constexpr int kMaxCpus = 256;
+  static constexpr int kWords = kMaxCpus / 64;
 
   CpuSet() = default;
 
@@ -33,12 +40,21 @@ class CpuSet {
   void remove(CpuId cpu);
   bool contains(CpuId cpu) const;
 
-  int count() const { return static_cast<int>(bits_.count()); }
-  bool empty() const { return bits_.none(); }
+  int count() const {
+    int total = 0;
+    for (const std::uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+  bool empty() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
 
   CpuSet operator&(const CpuSet& other) const;
   CpuSet operator|(const CpuSet& other) const;
-  bool operator==(const CpuSet& other) const { return bits_ == other.bits_; }
+  /// Complement over the full kMaxCpus universe; intersect with a
+  /// bounded set to subtract (`a & ~b`).
+  CpuSet operator~() const;
+  bool operator==(const CpuSet& other) const { return words_ == other.words_; }
 
   /// True when every cpu in this set is also in `other`.
   bool subset_of(const CpuSet& other) const;
@@ -46,14 +62,42 @@ class CpuSet {
   /// Lowest cpu id in the set; requires non-empty.
   CpuId first() const;
 
-  /// Materialize as a sorted vector of ids.
+  /// Next set bit strictly after `cpu` (pass -1 to start a scan), or -1
+  /// when none remain. `for (c = s.first_set_after(-1); c >= 0;
+  /// c = s.first_set_after(c))` visits the set in ascending order with
+  /// early exit available.
+  CpuId first_set_after(CpuId cpu) const;
+
+  /// k-th set bit in ascending order (0-based); requires k < count().
+  /// Gives random-pick-by-index over the set without a vector.
+  CpuId nth_set(int k) const;
+
+  /// Raw word `i` of the bitmap (bit b of word i is cpu 64*i + b).
+  std::uint64_t word(int i) const {
+    return words_[static_cast<std::size_t>(i)];
+  }
+
+  /// Visit every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int w = 0; w < kWords; ++w) {
+      std::uint64_t bits = words_[static_cast<std::size_t>(w)];
+      while (bits != 0) {
+        fn(static_cast<CpuId>(w * 64 + std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Materialize as a sorted vector of ids (tests/reporting only — hot
+  /// paths iterate set bits instead).
   std::vector<CpuId> to_vector() const;
 
   /// Human-readable "0-3,8,10" style rendering.
   std::string to_string() const;
 
  private:
-  std::bitset<kMaxCpus> bits_;
+  std::array<std::uint64_t, kWords> words_{};
 };
 
 }  // namespace pinsim::hw

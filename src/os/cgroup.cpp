@@ -13,6 +13,7 @@ Cgroup::Cgroup(Config config, const hw::CostModel& costs)
     period_quota_ = static_cast<SimDuration>(
         config_.cpu_limit * static_cast<double>(costs_->cfs_period));
     runtime_left_ = period_quota_;
+    local_slice_.assign(static_cast<std::size_t>(hw::CpuSet::kMaxCpus), 0);
   }
 }
 
@@ -26,7 +27,8 @@ SimDuration Cgroup::charge(hw::CpuId cpu, SimDuration amount) {
 
   SimDuration overhead = 0;
   SimDuration remaining = amount;
-  SimDuration& local = local_slice_[cpu];
+  touched_.add(cpu);
+  SimDuration& local = local_slice_[static_cast<std::size_t>(cpu)];
   while (remaining > 0) {
     if (local >= remaining) {
       local -= remaining;
@@ -58,8 +60,10 @@ SimDuration Cgroup::charge(hw::CpuId cpu, SimDuration amount) {
 }
 
 SimDuration Cgroup::local_runtime(hw::CpuId cpu) const {
-  const auto it = local_slice_.find(cpu);
-  return it == local_slice_.end() ? 0 : it->second;
+  if (local_slice_.empty() || cpu < 0 || cpu >= hw::CpuSet::kMaxCpus) {
+    return 0;
+  }
+  return local_slice_[static_cast<std::size_t>(cpu)];
 }
 
 SimDuration Cgroup::runtime_horizon(hw::CpuId cpu) const {
@@ -70,7 +74,12 @@ SimDuration Cgroup::runtime_horizon(hw::CpuId cpu) const {
 bool Cgroup::refill_period() {
   if (!has_quota()) return false;
   runtime_left_ = period_quota_;
-  local_slice_.clear();
+  // Reset only the slices actually handed out this period: walk the
+  // touched set's bits instead of clearing the whole per-cpu array.
+  touched_.for_each([this](hw::CpuId cpu) {
+    local_slice_[static_cast<std::size_t>(cpu)] = 0;
+  });
+  touched_ = hw::CpuSet();
   const bool released = throttled_;
   throttled_ = false;
   return released;
@@ -94,6 +103,37 @@ SimDuration Cgroup::aggregate() {
   return cost;
 }
 
+void Cgroup::park(Task& task) {
+  PINSIM_CHECK_MSG(task.park_index < 0,
+                   "task " << task.name() << " parked twice");
+  task.park_index = static_cast<int>(parked_.size());
+  parked_.push_back(&task);
+}
+
+void Cgroup::unpark(Task& task) {
+  PINSIM_CHECK_MSG(is_parked(task),
+                   "task " << task.name() << " not parked here");
+  const std::size_t index = static_cast<std::size_t>(task.park_index);
+  Task* last = parked_.back();
+  parked_[index] = last;
+  last->park_index = static_cast<int>(index);
+  parked_.pop_back();
+  task.park_index = -1;
+}
+
+bool Cgroup::is_parked(const Task& task) const {
+  const int index = task.park_index;
+  return index >= 0 && index < static_cast<int>(parked_.size()) &&
+         parked_[static_cast<std::size_t>(index)] == &task;
+}
+
+std::vector<Task*> Cgroup::take_parked() {
+  for (Task* task : parked_) task->park_index = -1;
+  std::vector<Task*> taken;
+  taken.swap(parked_);
+  return taken;
+}
+
 void Cgroup::add_member(Task& task) {
   PINSIM_CHECK(task.cgroup == nullptr || task.cgroup == this);
   task.cgroup = this;
@@ -104,6 +144,7 @@ void Cgroup::add_member(Task& task) {
 
 void Cgroup::remove_member(Task& task) {
   PINSIM_CHECK(task.cgroup == this);
+  if (is_parked(task)) unpark(task);
   task.cgroup = nullptr;
   members_.erase(std::remove(members_.begin(), members_.end(), &task),
                  members_.end());

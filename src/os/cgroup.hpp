@@ -26,7 +26,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -106,8 +105,18 @@ class Cgroup {
   void remove_member(Task& task);
   const std::vector<Task*>& members() const { return members_; }
 
-  /// Tasks parked by bandwidth throttling, to be re-enqueued on refill.
-  std::vector<Task*>& parked() { return parked_; }
+  // --- parked tasks (bandwidth throttling) --------------------------------
+  /// Park a task dequeued by bandwidth throttling. O(1); the task
+  /// records its slot index so a later unpark never scans the list.
+  void park(Task& task);
+  /// Remove one parked task out of order (swap-and-pop, O(1)).
+  void unpark(Task& task);
+  bool is_parked(const Task& task) const;
+  /// Take the whole parked list for re-enqueueing on period refill;
+  /// preserves throttle order and leaves the list empty.
+  std::vector<Task*> take_parked();
+  /// Tasks parked by bandwidth throttling (read-only; logging/tests).
+  const std::vector<Task*>& parked() const { return parked_; }
 
   const Stats& stats() const { return stats_; }
 
@@ -117,7 +126,11 @@ class Cgroup {
 
   SimDuration period_quota_ = 0;   // cpu_limit × cfs_period
   SimDuration runtime_left_ = 0;   // global pool for the current period
-  std::map<hw::CpuId, SimDuration> local_slice_;  // per-cpu cached runtime
+  // Per-cpu cached runtime as a flat array indexed by cpu id (sized only
+  // for quota groups), plus the set of cpus holding a slice so the
+  // period reset walks set bits instead of clearing a map.
+  std::vector<SimDuration> local_slice_;
+  hw::CpuSet touched_;
   bool throttled_ = false;
 
   hw::CpuSet spread_;

@@ -23,6 +23,28 @@ Kernel::Kernel(sim::Engine& engine, const hw::Topology& topology,
       cores_(static_cast<std::size_t>(topology.num_cpus())) {
   PINSIM_CHECK(params_.sched_latency > 0);
   PINSIM_CHECK(params_.min_granularity > 0);
+  idle_socket_.resize(static_cast<std::size_t>(topology.sockets()));
+  for (int cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    refresh_cpu_masks(cpu);  // everything starts idle
+  }
+}
+
+void Kernel::refresh_cpu_masks(hw::CpuId cpu) {
+  const auto& core = cores_[static_cast<std::size_t>(cpu)];
+  auto& socket_idle =
+      idle_socket_[static_cast<std::size_t>(topology_->socket_of(cpu))];
+  if (core.current != nullptr) {
+    busy_.add(cpu);
+  } else {
+    busy_.remove(cpu);
+  }
+  if (core.current == nullptr && core.rq.empty()) {
+    idle_.add(cpu);
+    socket_idle.add(cpu);
+  } else {
+    idle_.remove(cpu);
+    socket_idle.remove(cpu);
+  }
 }
 
 Kernel::~Kernel() = default;
@@ -138,7 +160,7 @@ void Kernel::dispatch(hw::CpuId cpu) {
     candidate.queued_cpu = -1;
     if (candidate.cgroup != nullptr && candidate.cgroup->throttled_on(cpu)) {
       candidate.state = TaskState::Throttled;
-      candidate.cgroup->parked().push_back(&candidate);
+      candidate.cgroup->park(candidate);
       continue;
     }
     next = &candidate;
@@ -146,6 +168,7 @@ void Kernel::dispatch(hw::CpuId cpu) {
   }
   if (next == nullptr) {
     core.boundary.cancel();
+    refresh_cpu_masks(cpu);
     return;  // idle
   }
 
@@ -188,6 +211,9 @@ void Kernel::dispatch(hw::CpuId cpu) {
   core.charged_until = now();
   core.slice_started = now();
   core.slice_length = slice_for(core);
+  // Masks must be current before advance_actions: the task may post a
+  // message whose wakeup placement reads them.
+  refresh_cpu_masks(cpu);
 
   if (remaining_cost(task) == 0) {
     if (!advance_actions(cpu, task)) {
@@ -275,7 +301,7 @@ void Kernel::on_boundary(hw::CpuId cpu) {
     ++stats_.throttle_events;
     notify([&](SchedObserver& o) { o.on_throttle(*task->cgroup); });
     task->state = TaskState::Throttled;
-    task->cgroup->parked().push_back(task);
+    task->cgroup->park(*task);
     core.current = nullptr;
     dispatch(cpu);
     return;
@@ -317,6 +343,7 @@ void Kernel::stop_running(hw::CpuId cpu, bool requeue) {
     task->queued_cpu = cpu;
     core.rq.enqueue(*task);
   }
+  refresh_cpu_masks(cpu);
 }
 
 bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {

@@ -138,6 +138,10 @@ class Kernel {
   bool run_until_quiescent(SimTime horizon = sim::Engine::kNoHorizon);
 
  private:
+  // Bench/test access to the private placement path and idle masks
+  // (bench/micro_sched.cpp, tests/os/kernel_property_test.cpp).
+  friend struct SchedBenchAccess;
+
   struct CoreState {
     Task* current = nullptr;
     Runqueue rq;
@@ -181,6 +185,12 @@ class Kernel {
   hw::CpuId irq_target(const Task& task);
   void charge_irq(hw::CpuId cpu);
 
+  /// Re-derive `cpu`'s bits in the idle/busy masks from its core state.
+  /// Called after every mutation of a core's `current` or runqueue so
+  /// wakeup placement is pure mask arithmetic. The masks carry no state
+  /// of their own — tests validate them against a recompute.
+  void refresh_cpu_masks(hw::CpuId cpu);
+
   // --- balancing & cgroup periodic work (kernel_balance.cpp) --------------
   void steal_for(hw::CpuId cpu);
   void periodic_balance();
@@ -207,6 +217,15 @@ class Kernel {
   std::string name_;
 
   std::vector<CoreState> cores_;
+  // Incrementally-updated placement masks (see refresh_cpu_masks):
+  // idle_ holds every cpu with no current task and an empty runqueue,
+  // idle_socket_[s] the idle cpus of socket s, and busy_ every cpu with
+  // a current task — so wakeup placement is `allowed & idle_socket_[s]`
+  // plus one nth_set pick, and the cgroup aggregation sweep walks only
+  // busy cpus.
+  hw::CpuSet idle_;
+  hw::CpuSet busy_;
+  std::vector<hw::CpuSet> idle_socket_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<Cgroup>> cgroups_;
   std::vector<SchedObserver*> observers_;

@@ -32,11 +32,12 @@ void Kernel::steal_for(hw::CpuId cpu) {
     if (rq.size() <= best_load) continue;
     // Find the most-serviced task allowed to run here whose group is not
     // throttled (parking them here would just churn).
-    Task* found = nullptr;
-    rq.for_each([&](Task& task) {
-      if (!allowed_cpus(task).contains(cpu)) return;
-      if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) return;
-      found = &task;  // last visitor = max vruntime
+    Task* found = rq.max_where([&](const Task& task) {
+      if (!allowed_cpus(task).contains(cpu)) return false;
+      if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) {
+        return false;
+      }
+      return true;
     });
     if (found != nullptr) {
       best_load = rq.size();
@@ -48,9 +49,11 @@ void Kernel::steal_for(hw::CpuId cpu) {
 
   auto& victim_rq = cores_[static_cast<std::size_t>(victim)].rq;
   victim_rq.remove(*candidate);
+  refresh_cpu_masks(victim);
   renormalize(*candidate, victim_rq, here.rq);
   candidate->queued_cpu = cpu;
   here.rq.enqueue(*candidate);
+  refresh_cpu_masks(cpu);
   ++stats_.steals;
 }
 
@@ -85,19 +88,22 @@ void Kernel::periodic_balance() {
   }
 
   auto& from = cores_[static_cast<std::size_t>(busiest)];
-  Task* candidate = nullptr;
-  from.rq.for_each([&](Task& task) {
-    if (!allowed_cpus(task).contains(idlest)) return;
-    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) return;
-    candidate = &task;
+  Task* candidate = from.rq.max_where([&](const Task& task) {
+    if (!allowed_cpus(task).contains(idlest)) return false;
+    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) {
+      return false;
+    }
+    return true;
   });
   if (candidate == nullptr) return;
 
   auto& to = cores_[static_cast<std::size_t>(idlest)];
   from.rq.remove(*candidate);
+  refresh_cpu_masks(busiest);
   renormalize(*candidate, from.rq, to.rq);
   candidate->queued_cpu = idlest;
   to.rq.enqueue(*candidate);
+  refresh_cpu_masks(idlest);
   ++stats_.balance_moves;
   if (to.current == nullptr) dispatch(idlest);
 }
@@ -150,15 +156,16 @@ void Kernel::cgroup_aggregate(Cgroup& group) {
   // §IV-B: "the container has to be suspended until tracking and
   // aggregating resource usage of the container is complete"): every
   // member currently on a cpu stalls for the duration of the walk,
-  // which grows with the group's spread.
-  for (int cpu = 0; cpu < topology_->num_cpus(); ++cpu) {
+  // which grows with the group's spread. Only cpus in the busy mask can
+  // host a member, so the sweep skips idle cores entirely.
+  busy_.for_each([&](hw::CpuId cpu) {
     auto& core = cores_[static_cast<std::size_t>(cpu)];
     if (core.current != nullptr && core.current->cgroup == &group) {
       charge_running(cpu);
       core.current->overhead_debt += cost;
       reprogram(cpu);
     }
-  }
+  });
 }
 
 void Kernel::cgroup_period(Cgroup& group) {
@@ -170,8 +177,7 @@ void Kernel::cgroup_period(Cgroup& group) {
   // Unthrottle: every parked task re-enters through the wakeup path;
   // vanilla groups scatter again (and repay cache refills), pinned ones
   // return to their cpuset.
-  std::vector<Task*> parked;
-  parked.swap(group.parked());
+  const std::vector<Task*> parked = group.take_parked();
   for (Task* task : parked) {
     PINSIM_CHECK(task->state == TaskState::Throttled);
     task->overhead_debt += costs_->sched_pick;

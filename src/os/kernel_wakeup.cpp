@@ -10,7 +10,6 @@
 #include "os/kernel.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "util/check.hpp"
 
@@ -40,29 +39,38 @@ hw::CpuId Kernel::place_task(Task& task, hw::CpuId hint) {
   const int affine_socket =
       hint >= 0 ? topology_->socket_of(hint)
                 : (prev >= 0 ? topology_->socket_of(prev) : -1);
-  if (prev >= 0 && allowed.contains(prev) && idle_cpu(prev) &&
+  const bool prev_idle =
+      prev >= 0 && allowed.contains(prev) && idle_.contains(prev);
+  if (prev_idle &&
       (affine_socket < 0 || topology_->socket_of(prev) == affine_socket)) {
     return prev;
   }
 
-  // Idle cpus, preferring the affine socket.
-  std::vector<hw::CpuId> idle_near;
-  std::vector<hw::CpuId> idle_far;
-  for (const hw::CpuId cpu : allowed.to_vector()) {
-    if (!idle_cpu(cpu)) continue;
-    if (affine_socket >= 0 && topology_->socket_of(cpu) == affine_socket) {
-      idle_near.push_back(cpu);
-    } else {
-      idle_far.push_back(cpu);
-    }
-  }
-  auto pick_random = [this](const std::vector<hw::CpuId>& cpus) {
-    return cpus[static_cast<std::size_t>(rng_.uniform_int(
-        0, static_cast<std::int64_t>(cpus.size()) - 1))];
+  // Idle cpus, preferring the affine socket: mask intersections over
+  // the incrementally-maintained idle masks plus one nth_set pick. The
+  // candidate sets — and the single uniform draw over each, in
+  // ascending cpu order — are exactly the historical ones, so the RNG
+  // stream (and with it every figure) is unchanged.
+  auto pick_random = [this](const hw::CpuSet& cpus, int count) {
+    return cpus.nth_set(static_cast<int>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(count) - 1)));
   };
-  if (!idle_near.empty()) return pick_random(idle_near);
-  if (prev >= 0 && allowed.contains(prev) && idle_cpu(prev)) return prev;
-  if (!idle_far.empty()) return pick_random(idle_far);
+  if (affine_socket >= 0) {
+    const hw::CpuSet idle_near =
+        allowed & idle_socket_[static_cast<std::size_t>(affine_socket)];
+    const int near_count = idle_near.count();
+    if (near_count > 0) return pick_random(idle_near, near_count);
+  }
+  if (prev_idle) return prev;
+  hw::CpuSet idle_far = allowed & idle_;
+  if (affine_socket >= 0) {
+    // Every idle cpu of the affine socket is in its idle mask, so this
+    // subtracts exactly the near candidates handled above.
+    idle_far =
+        idle_far & ~idle_socket_[static_cast<std::size_t>(affine_socket)];
+  }
+  const int far_count = idle_far.count();
+  if (far_count > 0) return pick_random(idle_far, far_count);
 
   // No idle cpu: like wake_affine, choose only between the previous cpu
   // (cache-warm) and the waker's (hint), whichever queues shorter —
@@ -80,32 +88,42 @@ hw::CpuId Kernel::place_task(Task& task, hw::CpuId hint) {
   if (prev_ok) return prev;
   if (hint_ok) return hint;
 
-  // Fresh task with no history: least loaded, random among ties.
+  // Fresh task with no history: least loaded, random among ties —
+  // count the ties in one pass over `allowed`'s set bits, then select
+  // the drawn one in a second.
   int best_load = INT32_MAX;
-  std::vector<hw::CpuId> best;
-  for (const hw::CpuId cpu : allowed.to_vector()) {
+  int ties = 0;
+  for (hw::CpuId cpu = allowed.first_set_after(-1); cpu >= 0;
+       cpu = allowed.first_set_after(cpu)) {
     const int load = load_of(cpu);
     if (load < best_load) {
       best_load = load;
-      best.clear();
+      ties = 0;
     }
-    if (load == best_load) best.push_back(cpu);
+    if (load == best_load) ++ties;
   }
-  PINSIM_CHECK(!best.empty());
-  return pick_random(best);
+  PINSIM_CHECK(ties > 0);
+  std::int64_t pick = rng_.uniform_int(0, ties - 1);
+  for (hw::CpuId cpu = allowed.first_set_after(-1); cpu >= 0;
+       cpu = allowed.first_set_after(cpu)) {
+    if (load_of(cpu) == best_load && pick-- == 0) return cpu;
+  }
+  PINSIM_CHECK_MSG(false, "tie pick fell off the allowed set");
+  return allowed.first();
 }
 
 void Kernel::enqueue_task(Task& task, hw::CpuId cpu) {
   auto& core = cores_[static_cast<std::size_t>(cpu)];
   if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) {
     task.state = TaskState::Throttled;
-    task.cgroup->parked().push_back(&task);
+    task.cgroup->park(task);
     return;
   }
   task.state = TaskState::Runnable;
   task.enqueued_at = now();
   task.queued_cpu = cpu;
   core.rq.enqueue(task);
+  refresh_cpu_masks(cpu);
 
   if (core.current == nullptr) {
     dispatch(cpu);

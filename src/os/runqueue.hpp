@@ -1,11 +1,19 @@
 // Per-cpu run queue ordered by virtual runtime.
 //
-// The CFS analogue: the task with the smallest vruntime runs next, so CPU
-// time is shared in proportion to weight. The kernel keeps one Runqueue
-// per logical cpu; the guest kernel keeps one per vCPU.
+// The CFS analogue: the task with the smallest (vruntime, id) key runs
+// next, so CPU time is shared in proportion to weight. The kernel keeps
+// one Runqueue per logical cpu; the guest kernel keeps one per vCPU.
+//
+// Implemented as an indexed flat binary min-heap: slots live in one
+// vector (no per-enqueue node allocation after warmup) and each queued
+// Task carries its own slot index, so removal from the middle is
+// O(log n) without a search. The (vruntime, id) tie-break order of the
+// historical std::set implementation is preserved exactly — keys are
+// unique, so pop_min/peek_min are deterministic regardless of the
+// heap's internal arrangement.
 #pragma once
 
-#include <set>
+#include <vector>
 
 #include "os/task.hpp"
 #include "util/units.hpp"
@@ -27,31 +35,50 @@ class Runqueue {
   /// the most service, so moving it is fairest), or nullptr when empty.
   Task* peek_max() const;
 
-  int size() const { return static_cast<int>(entries_.size()); }
-  bool empty() const { return entries_.empty(); }
+  int size() const { return static_cast<int>(heap_.size()); }
+  bool empty() const { return heap_.empty(); }
 
   /// Floor for newly woken tasks so sleepers cannot monopolize the cpu
   /// with an ancient vruntime.
   SimDuration min_vruntime() const { return min_vruntime_; }
 
-  /// Iterate over queued tasks (order: vruntime ascending).
+  /// Iterate over queued tasks in heap order — NO vruntime ordering.
+  /// Order-sensitive callers use max_where / pop_min instead.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& entry : entries_) fn(*entry.task);
+    for (const Slot& slot : heap_) fn(*slot.task);
+  }
+
+  /// The queued task with the largest (vruntime, id) key satisfying
+  /// `pred` — the most-serviced eligible task, i.e. the fairest
+  /// steal/balance candidate — or nullptr when none qualifies.
+  template <typename Pred>
+  Task* max_where(Pred&& pred) const {
+    const Slot* best = nullptr;
+    for (const Slot& slot : heap_) {
+      if (!pred(*slot.task)) continue;
+      if (best == nullptr || key_less(*best, slot)) best = &slot;
+    }
+    return best == nullptr ? nullptr : best->task;
   }
 
  private:
-  struct Entry {
+  struct Slot {
     SimDuration vruntime;
     Task::Id id;
     Task* task;
-    bool operator<(const Entry& other) const {
-      if (vruntime != other.vruntime) return vruntime < other.vruntime;
-      return id < other.id;
-    }
   };
 
-  std::set<Entry> entries_;
+  static bool key_less(const Slot& a, const Slot& b) {
+    if (a.vruntime != b.vruntime) return a.vruntime < b.vruntime;
+    return a.id < b.id;
+  }
+
+  void place(std::size_t index, const Slot& slot);
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+
+  std::vector<Slot> heap_;
   SimDuration min_vruntime_ = 0;
 };
 

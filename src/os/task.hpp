@@ -157,6 +157,12 @@ class Task {
   SimTime blocked_at = 0;
   /// Cpu whose runqueue currently holds this task (-1 when not queued).
   hw::CpuId queued_cpu = -1;
+  /// Slot index in the holding runqueue's heap (-1 when not queued).
+  /// Maintained by Runqueue; nobody else writes it.
+  int rq_index = -1;
+  /// Slot index in the cgroup's parked list (-1 when not parked).
+  /// Maintained by Cgroup; nobody else writes it.
+  int park_index = -1;
 
   TaskStats stats;
 

@@ -126,33 +126,47 @@ int GuestKernel::place_task(os::Task& task) {
   };
   if (prev >= 0 && allowed.contains(prev) && is_idle(prev)) return prev;
 
-  std::vector<int> idle;
-  for (const int vcpu : allowed.to_vector()) {
-    if (is_idle(vcpu)) idle.push_back(vcpu);
+  // Count-then-select over `allowed`'s set bits: same candidates in the
+  // same ascending order (and the same single RNG draw) as the old
+  // vector-building code, without the per-wakeup allocations.
+  int idle_count = 0;
+  allowed.for_each([&](hw::CpuId vcpu) {
+    if (is_idle(vcpu)) ++idle_count;
+  });
+  if (idle_count > 0) {
+    std::int64_t pick = rng_.uniform_int(0, idle_count - 1);
+    for (hw::CpuId vcpu = allowed.first_set_after(-1); vcpu >= 0;
+         vcpu = allowed.first_set_after(vcpu)) {
+      if (is_idle(vcpu) && pick-- == 0) return vcpu;
+    }
   }
-  if (!idle.empty()) {
-    return idle[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(idle.size()) - 1))];
-  }
-  int best_load = INT32_MAX;
-  std::vector<int> best;
-  for (const int vcpu : allowed.to_vector()) {
+  auto load_of = [this](int vcpu) {
     const auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
-    const int load = v.rq.size() + (v.current != nullptr ? 1 : 0);
+    return v.rq.size() + (v.current != nullptr ? 1 : 0);
+  };
+  int best_load = INT32_MAX;
+  int ties = 0;
+  allowed.for_each([&](hw::CpuId vcpu) {
+    const int load = load_of(vcpu);
     if (load < best_load) {
       best_load = load;
-      best.clear();
+      ties = 0;
     }
-    if (load == best_load) best.push_back(vcpu);
+    if (load == best_load) ++ties;
+  });
+  std::int64_t pick = rng_.uniform_int(0, ties - 1);
+  for (hw::CpuId vcpu = allowed.first_set_after(-1); vcpu >= 0;
+       vcpu = allowed.first_set_after(vcpu)) {
+    if (load_of(vcpu) == best_load && pick-- == 0) return vcpu;
   }
-  return best[static_cast<std::size_t>(
-      rng_.uniform_int(0, static_cast<std::int64_t>(best.size()) - 1))];
+  PINSIM_CHECK_MSG(false, "guest tie pick fell off the allowed set");
+  return allowed.first();
 }
 
 void GuestKernel::enqueue_task(os::Task& task, int vcpu) {
   if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) {
     task.state = os::TaskState::Throttled;
-    task.cgroup->parked().push_back(&task);
+    task.cgroup->park(task);
     return;
   }
   auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
@@ -186,7 +200,7 @@ os::Task* GuestKernel::pick_next(int vcpu) {
       if (candidate.cgroup != nullptr &&
           candidate.cgroup->throttled_on(vcpu)) {
         candidate.state = os::TaskState::Throttled;
-        candidate.cgroup->parked().push_back(&candidate);
+        candidate.cgroup->park(candidate);
         continue;
       }
       return &candidate;
@@ -204,11 +218,12 @@ os::Task* GuestKernel::pick_next(int vcpu) {
     if (other == vcpu) continue;
     auto& rq = vcpus_[static_cast<std::size_t>(other)].rq;
     if (rq.size() <= best_load) continue;
-    os::Task* found = nullptr;
-    rq.for_each([&](os::Task& task) {
-      if (!allowed_vcpus(task).contains(vcpu)) return;
-      if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) return;
-      found = &task;
+    os::Task* found = rq.max_where([&](const os::Task& task) {
+      if (!allowed_vcpus(task).contains(vcpu)) return false;
+      if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) {
+        return false;
+      }
+      return true;
     });
     if (found != nullptr) {
       best_load = rq.size();
@@ -369,7 +384,7 @@ void GuestKernel::complete_burst(int vcpu) {
 void GuestKernel::park(os::Task& task) {
   task.state = os::TaskState::Throttled;
   PINSIM_CHECK(task.cgroup != nullptr);
-  task.cgroup->parked().push_back(&task);
+  task.cgroup->park(task);
 }
 
 // --- action protocol ----------------------------------------------------------
@@ -529,11 +544,12 @@ void GuestKernel::balance_idle_vcpus() {
       if (other == vcpu) continue;
       auto& rq = vcpus_[static_cast<std::size_t>(other)].rq;
       if (rq.size() < best_load) continue;
-      os::Task* found = nullptr;
-      rq.for_each([&](os::Task& task) {
-        if (!allowed_vcpus(task).contains(vcpu)) return;
-        if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) return;
-        found = &task;
+      os::Task* found = rq.max_where([&](const os::Task& task) {
+        if (!allowed_vcpus(task).contains(vcpu)) return false;
+        if (task.cgroup != nullptr && task.cgroup->throttled_on(vcpu)) {
+          return false;
+        }
+        return true;
       });
       if (found != nullptr) {
         best_load = rq.size() + 1;
@@ -574,11 +590,12 @@ void GuestKernel::rotate_surplus_task() {
   if (busiest < 0 || idlest < 0 || max_load - min_load < 1) return;
   auto& from = vcpus_[static_cast<std::size_t>(busiest)];
   if (from.rq.empty()) return;
-  os::Task* candidate = nullptr;
-  from.rq.for_each([&](os::Task& task) {
-    if (!allowed_vcpus(task).contains(idlest)) return;
-    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) return;
-    candidate = &task;
+  os::Task* candidate = from.rq.max_where([&](const os::Task& task) {
+    if (!allowed_vcpus(task).contains(idlest)) return false;
+    if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) {
+      return false;
+    }
+    return true;
   });
   if (candidate == nullptr) return;
   auto& to = vcpus_[static_cast<std::size_t>(idlest)];
@@ -620,8 +637,7 @@ void GuestKernel::housekeeping_tick() {
       cgroup_next_period_[i] = host_->engine().now() + costs.cfs_period;
       if (released) {
         ++stats_.unthrottle_events;
-        std::vector<os::Task*> parked;
-        parked.swap(group.parked());
+        const std::vector<os::Task*> parked = group.take_parked();
         for (os::Task* task : parked) {
           PINSIM_CHECK(task->state == os::TaskState::Throttled);
           task->overhead_debt += costs.sched_pick;

@@ -77,5 +77,56 @@ TEST(CpuSetTest, Equality) {
   EXPECT_FALSE(CpuSet::first_n(3) == CpuSet::first_n(4));
 }
 
+TEST(CpuSetTest, FirstSetAfterScansAcrossWords) {
+  const CpuSet set = CpuSet::of({3, 7, 63, 64, 200});
+  EXPECT_EQ(set.first_set_after(-1), 3);
+  EXPECT_EQ(set.first_set_after(3), 7);
+  EXPECT_EQ(set.first_set_after(7), 63);
+  EXPECT_EQ(set.first_set_after(63), 64);
+  EXPECT_EQ(set.first_set_after(64), 200);
+  EXPECT_EQ(set.first_set_after(200), -1);
+  EXPECT_EQ(CpuSet().first_set_after(-1), -1);
+  // Starting below an absent id still finds the next set bit.
+  EXPECT_EQ(set.first_set_after(100), 200);
+}
+
+TEST(CpuSetTest, NthSetMatchesAscendingOrder) {
+  const CpuSet set = CpuSet::of({3, 7, 63, 64, 200});
+  const std::vector<CpuId> ids = set.to_vector();
+  for (int k = 0; k < set.count(); ++k) {
+    EXPECT_EQ(set.nth_set(k), ids[static_cast<std::size_t>(k)]);
+  }
+  EXPECT_THROW(set.nth_set(set.count()), InvariantViolation);
+  EXPECT_THROW(set.nth_set(-1), InvariantViolation);
+}
+
+TEST(CpuSetTest, ForEachVisitsAscendingAndMatchesToVector) {
+  const CpuSet set = CpuSet::of({0, 1, 63, 64, 127, 128, 255});
+  std::vector<CpuId> visited;
+  set.for_each([&](CpuId cpu) { visited.push_back(cpu); });
+  EXPECT_EQ(visited, set.to_vector());
+}
+
+TEST(CpuSetTest, ComplementSubtracts) {
+  const CpuSet a = CpuSet::range(0, 10);
+  const CpuSet b = CpuSet::of({2, 5, 9, 100});
+  const CpuSet diff = a & ~b;
+  EXPECT_EQ(diff.count(), 7);
+  EXPECT_TRUE(diff.contains(0));
+  EXPECT_FALSE(diff.contains(2));
+  EXPECT_FALSE(diff.contains(5));
+  EXPECT_TRUE((a & ~a).empty());
+  EXPECT_EQ((~CpuSet()).count(), CpuSet::kMaxCpus);
+}
+
+TEST(CpuSetTest, WordExposesRawBits) {
+  CpuSet set;
+  set.add(0);
+  set.add(65);
+  EXPECT_EQ(set.word(0), 1ull);
+  EXPECT_EQ(set.word(1), 2ull);
+  EXPECT_EQ(set.word(2), 0ull);
+}
+
 }  // namespace
 }  // namespace pinsim::hw
