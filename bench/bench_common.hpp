@@ -10,6 +10,8 @@
 //               PINSIM_JOBS). Results are bit-identical to --jobs 1.
 //   --reps N    override the paper's repetition count (same as PINSIM_REPS)
 //   --json P    also write machine-readable results + timing to file P
+//   --stats     print aggregated sim::Engine counters (events fired,
+//               tombstone pops, deferred re-arms, peak heap) after the run
 #pragma once
 
 #include <chrono>
@@ -25,6 +27,7 @@
 #include "core/experiment.hpp"
 #include "core/figure.hpp"
 #include "core/report.hpp"
+#include "sim/engine.hpp"
 #include "stats/text_table.hpp"
 
 namespace pinsim::bench {
@@ -33,6 +36,7 @@ struct BenchOptions {
   int jobs = 1;
   int reps_override = 0;  // 0 = keep the paper protocol / PINSIM_REPS
   std::string json_path;  // empty = no JSON output
+  bool engine_stats = false;  // print aggregated engine counters at exit
 };
 
 inline int env_int_or(const char* name, int fallback) {
@@ -63,9 +67,11 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.reps_override = std::atoi(value("--reps"));
     } else if (arg == "--json") {
       options.json_path = value("--json");
+    } else if (arg == "--stats") {
+      options.engine_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--jobs N] [--reps N] [--json PATH]\n";
+                << " [--jobs N] [--reps N] [--json PATH] [--stats]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -142,6 +148,25 @@ inline void maybe_write_json(const BenchOptions& options,
   meta.wall_seconds = wall_seconds;
   core::write_bench_json(out, meta, figures);
   std::cout << "json written to " << options.json_path << "\n";
+}
+
+/// Print the process-wide engine counters when --stats was given. Call
+/// last in main — the totals fold in as each simulation's Engine is
+/// destroyed, and a sweep builds one engine per (cell, repetition).
+inline void maybe_print_engine_stats(const BenchOptions& options) {
+  if (!options.engine_stats) return;
+  const sim::EngineStats stats = sim::aggregate_engine_stats();
+  const double tombstone_ratio =
+      stats.fired > 0 ? static_cast<double>(stats.tombstone_pops) /
+                            static_cast<double>(stats.fired)
+                      : 0.0;
+  std::cout << "engine stats: fired=" << stats.fired
+            << " scheduled=" << stats.scheduled
+            << " tombstone_pops=" << stats.tombstone_pops
+            << " (ratio " << std::setprecision(4) << tombstone_ratio
+            << ") deferred_rearms=" << stats.deferred_rearms
+            << " reschedules=" << stats.reschedules
+            << " peak_heap=" << stats.peak_heap << "\n";
 }
 
 }  // namespace pinsim::bench

@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
   bench::maybe_write_json(options, "Best practices",
                           runner.config().repetitions, wall,
                           {&cpu_figure, &io_figure});
+  bench::maybe_print_engine_stats(options);
   return 0;
 }

@@ -119,5 +119,6 @@ int main(int argc, char** argv) {
   std::cout << "bench wall time: " << wall << " s\n";
   bench::maybe_write_json(options, "CHR ranges",
                           runner.config().repetitions, wall, {&ratio_figure});
+  bench::maybe_print_engine_stats(options);
   return 0;
 }

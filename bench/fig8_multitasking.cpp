@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
   std::cout << "bench wall time: " << wall << " s\n";
   bench::maybe_write_json(options, "Figure 8",
                           runner.config().repetitions, wall, {&figure});
+  bench::maybe_print_engine_stats(options);
   return 0;
 }

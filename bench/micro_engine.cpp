@@ -67,6 +67,75 @@ void BM_EngineScheduleCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScheduleCancelHalf);
 
+void BM_EngineReschedule(benchmark::State& state) {
+  // In-place deadline moves on one pending event, alternating later
+  // (lazy deferral: two stores) and back (re-key + sift). This is the
+  // per-reprogram cost of the kernel's persistent boundary timers.
+  sim::Engine engine;
+  sim::EventHandle handle = engine.schedule_tracked(1000, [] {});
+  SimTime when = 1000;
+  for (auto _ : state) {
+    when = when == 1000 ? 2000 : 1000;
+    benchmark::DoNotOptimize(engine.reschedule(handle, when));
+  }
+  handle.cancel();
+  engine.run();
+}
+BENCHMARK(BM_EngineReschedule);
+
+// The boundary-timer churn pair: 112 cores each re-arm their quantum
+// timer every simulated 50us to a deadline ~100us out, so re-arms
+// almost always land before the previous deadline fires — the paper's
+// quota-governed sweep in miniature. CancelPush is the historical
+// tombstone pattern; Reschedule is the in-place path that replaced it.
+constexpr int kChurnCores = 112;
+constexpr int kChurnRounds = 200;
+
+SimTime churn_deadline(SimTime now, int round, int core) {
+  return now + 100 + ((round + core) % 7) * 10;
+}
+
+void BM_BoundaryChurnCancelPush(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventHandle> boundary(kChurnCores);
+    SimTime t = 0;
+    for (int round = 0; round < kChurnRounds; ++round) {
+      t += 50;
+      for (int core = 0; core < kChurnCores; ++core) {
+        boundary[core].cancel();
+        boundary[core] =
+            engine.schedule_at(churn_deadline(t, round, core), [] {});
+      }
+      engine.run(t);
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * kChurnRounds * kChurnCores);
+}
+BENCHMARK(BM_BoundaryChurnCancelPush);
+
+void BM_BoundaryChurnReschedule(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::vector<sim::EventHandle> boundary(kChurnCores);
+    SimTime t = 0;
+    for (int round = 0; round < kChurnRounds; ++round) {
+      t += 50;
+      for (int core = 0; core < kChurnCores; ++core) {
+        const SimTime when = churn_deadline(t, round, core);
+        if (!engine.reschedule(boundary[core], when)) {
+          boundary[core] = engine.schedule_tracked_at(when, [] {});
+        }
+      }
+      engine.run(t);
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * kChurnRounds * kChurnCores);
+}
+BENCHMARK(BM_BoundaryChurnReschedule);
+
 void BM_ThreadPoolDispatch(benchmark::State& state) {
   // Round-trip cost of fanning trivial cells through the experiment
   // pool: submit N tasks, gather N futures in order.

@@ -7,9 +7,11 @@
 #    runqueue and the flat cgroup slice arrays index by raw task/cpu
 #    ids; the sanitizers catch any stale-index use the unit tests
 #    would miss). Skip with PINSIM_SKIP_SANITIZERS=1 for a quick pass.
-# 3. Build micro_engine in a Release tree so perf-relevant flags
-#    (-O2 -DNDEBUG) compile on every PR, and run the engine micros once,
-#    writing machine-readable timings to BENCH_engine_latest.json.
+# 3. Build micro_engine + micro_sched in a Release tree so perf-relevant
+#    flags (-O2 -DNDEBUG) compile on every PR, and run both micro suites
+#    once, writing machine-readable timings to BENCH_engine_latest.json
+#    and BENCH_sched_latest.json (both gitignored; diff against the
+#    committed BENCH_*.json snapshots when touching hot paths).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,24 +19,29 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+(cd build && ctest --output-on-failure -j --timeout 300)
 
 if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== tier-1 under ASan+UBSan =="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  cmake --build build-asan --target pinsim_tests -j
-  (cd build-asan && ctest --output-on-failure -j)
+  cmake --build build-asan --target pinsim_tests pinsim_examples -j
+  (cd build-asan && ctest --output-on-failure -j --timeout 300)
 fi
 
-echo "== Release build of the engine micro-benchmarks =="
+echo "== Release build of the micro-benchmarks =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release --target micro_engine -j
+cmake --build build-release --target micro_engine micro_sched -j
 
 echo "== engine micro smoke (BENCH_engine_latest.json) =="
 ./build-release/bench/micro_engine \
-  --benchmark_filter='BM_Engine|BM_ThreadPool' \
+  --benchmark_filter='BM_Engine|BM_Boundary|BM_ThreadPool' \
   --benchmark_out=BENCH_engine_latest.json \
+  --benchmark_out_format=json
+
+echo "== scheduler micro smoke (BENCH_sched_latest.json) =="
+./build-release/bench/micro_sched \
+  --benchmark_out=BENCH_sched_latest.json \
   --benchmark_out_format=json
 
 echo "verify: OK"

@@ -38,6 +38,11 @@ void Kernel::refresh_cpu_masks(hw::CpuId cpu) {
   } else {
     busy_.remove(cpu);
   }
+  if (core.rq.empty()) {
+    queued_.remove(cpu);
+  } else {
+    queued_.add(cpu);
+  }
   if (core.current == nullptr && core.rq.empty()) {
     idle_.add(cpu);
     socket_idle.add(cpu);
@@ -266,11 +271,21 @@ void Kernel::charge_running(hw::CpuId cpu) {
   }
 }
 
+void Kernel::arm_boundary(hw::CpuId cpu, SimDuration delay) {
+  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  const SimTime when = now() + delay;
+  if (engine_->reschedule(core.boundary, when)) return;
+  core.boundary =
+      engine_->schedule_tracked_at(when, [this, cpu] { on_boundary(cpu); });
+}
+
 void Kernel::reprogram(hw::CpuId cpu) {
   auto& core = cores_[static_cast<std::size_t>(cpu)];
-  core.boundary.cancel();
   Task* task = core.current;
-  if (task == nullptr) return;
+  if (task == nullptr) {
+    core.boundary.cancel();
+    return;
+  }
   const SimDuration until_slice =
       core.slice_started + core.slice_length - now();
   const SimDuration cost = remaining_cost_on(*task, cpu);
@@ -285,7 +300,7 @@ void Kernel::reprogram(hw::CpuId cpu) {
     const SimDuration horizon = task->cgroup->runtime_horizon(cpu);
     next = std::min(next, std::max<SimDuration>(horizon, 1));
   }
-  core.boundary = engine_->schedule(next, [this, cpu] { on_boundary(cpu); });
+  arm_boundary(cpu, next);
 }
 
 void Kernel::on_boundary(hw::CpuId cpu) {

@@ -156,6 +156,10 @@ class Kernel {
   void on_boundary(hw::CpuId cpu);
   void charge_running(hw::CpuId cpu);
   void reprogram(hw::CpuId cpu);
+  /// Move the core's persistent boundary timer to now()+delay: an
+  /// in-place reschedule while the timer is pending, one fresh push
+  /// right after it fired. No cancel+push tombstones either way.
+  void arm_boundary(hw::CpuId cpu, SimDuration delay);
   void stop_running(hw::CpuId cpu, bool requeue);
   /// Ask the driver for actions until the task blocks, exits, or has a
   /// compute burst. Returns true while the task should stay on the cpu.
@@ -200,6 +204,9 @@ class Kernel {
   void park_group(Cgroup& group);
   void release_group(Cgroup& group);
   void ensure_housekeeping();
+  /// Arm the persistent housekeeping timer for now()+delay (same
+  /// reschedule-or-push mechanism as the per-core boundary timers).
+  void arm_housekeeping(SimDuration delay);
 
   // --- helpers --------------------------------------------------------------
   hw::CpuId cpu_of_running(const Task& task) const;
@@ -219,12 +226,15 @@ class Kernel {
   std::vector<CoreState> cores_;
   // Incrementally-updated placement masks (see refresh_cpu_masks):
   // idle_ holds every cpu with no current task and an empty runqueue,
-  // idle_socket_[s] the idle cpus of socket s, and busy_ every cpu with
-  // a current task — so wakeup placement is `allowed & idle_socket_[s]`
-  // plus one nth_set pick, and the cgroup aggregation sweep walks only
-  // busy cpus.
+  // idle_socket_[s] the idle cpus of socket s, busy_ every cpu with a
+  // current task, and queued_ every cpu with a nonempty runqueue — so
+  // wakeup placement is `allowed & idle_socket_[s]` plus one nth_set
+  // pick, the cgroup aggregation sweep walks only busy cpus, and the
+  // steal/balance scans word-scan only cpus with queued work instead of
+  // all num_cpus() runqueues.
   hw::CpuSet idle_;
   hw::CpuSet busy_;
+  hw::CpuSet queued_;
   std::vector<hw::CpuSet> idle_socket_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<Cgroup>> cgroups_;
@@ -234,6 +244,7 @@ class Kernel {
   int live_tasks_ = 0;
   hw::CpuId irq_rr_ = 0;  // round-robin irq distribution for unpinned IO
   bool housekeeping_active_ = false;
+  sim::EventHandle housekeeping_;
   std::vector<SimTime> cgroup_next_period_;  // parallel to cgroups_
   SimTime next_balance_ = 0;
   KernelStats stats_;

@@ -26,10 +26,13 @@ void Kernel::steal_for(hw::CpuId cpu) {
   int best_load = 0;
   hw::CpuId victim = -1;
   Task* candidate = nullptr;
-  for (int other = 0; other < topology_->num_cpus(); ++other) {
-    if (other == cpu) continue;
+  // Only cpus with queued work can be victims; word-scan the queued
+  // mask in ascending cpu order (the historical visitation order, so
+  // every tie-break is unchanged) instead of walking all num_cpus()
+  // runqueues. This cpu's runqueue is empty, so it is never in the mask.
+  queued_.for_each([&](hw::CpuId other) {
     auto& rq = cores_[static_cast<std::size_t>(other)].rq;
-    if (rq.size() <= best_load) continue;
+    if (rq.size() <= best_load) return;
     // Find the most-serviced task allowed to run here whose group is not
     // throttled (parking them here would just churn).
     Task* found = rq.max_where([&](const Task& task) {
@@ -44,7 +47,7 @@ void Kernel::steal_for(hw::CpuId cpu) {
       victim = other;
       candidate = found;
     }
-  }
+  });
   if (candidate == nullptr) return;
 
   auto& victim_rq = cores_[static_cast<std::size_t>(victim)].rq;
@@ -65,7 +68,16 @@ void Kernel::periodic_balance() {
   int min_load = INT32_MAX;
   hw::CpuId busiest = -1;
   hw::CpuId idlest = -1;
-  for (int cpu = 0; cpu < topology_->num_cpus(); ++cpu) {
+  // Nonzero load means a current task (busy_) or queued work (queued_);
+  // everything else has load 0 and is exactly the idle mask. Scanning
+  // the union in ascending order visits the same candidates the full
+  // 0..num_cpus() sweep did, minus cpus that can win neither race —
+  // except for the load-0 idlest, which is the first idle cpu.
+  if (!idle_.empty()) {
+    min_load = 0;
+    idlest = idle_.first();
+  }
+  (busy_ | queued_).for_each([&](hw::CpuId cpu) {
     const auto& core = cores_[static_cast<std::size_t>(cpu)];
     const int load = core.rq.size() + (core.current != nullptr ? 1 : 0);
     if (load > max_load) {
@@ -76,7 +88,7 @@ void Kernel::periodic_balance() {
       min_load = load;
       idlest = cpu;
     }
-  }
+  });
   // Move when clearly imbalanced; with a persistent 1-task imbalance
   // (e.g. 5 runnable tasks on 4 cpus) CFS still rotates the surplus task
   // so every task gets a fair global share — mirror that by migrating
@@ -118,8 +130,14 @@ void Kernel::ensure_housekeeping() {
     next = std::max(next, now());
   }
   PINSIM_INFO("housekeeping armed at t=" << engine_->now());
-  const SimDuration tick = costs_->cgroup_aggregate_interval;
-  engine_->schedule_detached(tick, [this] { housekeeping_tick(); });
+  arm_housekeeping(costs_->cgroup_aggregate_interval);
+}
+
+void Kernel::arm_housekeeping(SimDuration delay) {
+  const SimTime when = now() + delay;
+  if (engine_->reschedule(housekeeping_, when)) return;
+  housekeeping_ =
+      engine_->schedule_tracked_at(when, [this] { housekeeping_tick(); });
 }
 
 void Kernel::housekeeping_tick() {
@@ -141,8 +159,7 @@ void Kernel::housekeeping_tick() {
     periodic_balance();
     next_balance_ = now() + params_.balance_interval;
   }
-  engine_->schedule_detached(costs_->cgroup_aggregate_interval,
-                    [this] { housekeeping_tick(); });
+  arm_housekeeping(costs_->cgroup_aggregate_interval);
 }
 
 void Kernel::cgroup_aggregate(Cgroup& group) {

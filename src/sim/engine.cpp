@@ -1,9 +1,49 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace pinsim::sim {
+
+namespace {
+
+// Process-wide totals, folded in by ~Engine. Worker threads each own
+// private engines, so contention is one batch of relaxed adds per
+// simulation, not per event.
+std::atomic<std::int64_t> g_scheduled{0};
+std::atomic<std::int64_t> g_fired{0};
+std::atomic<std::int64_t> g_tombstone_pops{0};
+std::atomic<std::int64_t> g_deferred_rearms{0};
+std::atomic<std::int64_t> g_reschedules{0};
+std::atomic<std::int64_t> g_peak_heap{0};
+
+}  // namespace
+
+EngineStats aggregate_engine_stats() {
+  EngineStats stats;
+  stats.scheduled = g_scheduled.load(std::memory_order_relaxed);
+  stats.fired = g_fired.load(std::memory_order_relaxed);
+  stats.tombstone_pops = g_tombstone_pops.load(std::memory_order_relaxed);
+  stats.deferred_rearms = g_deferred_rearms.load(std::memory_order_relaxed);
+  stats.reschedules = g_reschedules.load(std::memory_order_relaxed);
+  stats.peak_heap = g_peak_heap.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Engine::~Engine() {
+  const EngineStats s = stats();
+  g_scheduled.fetch_add(s.scheduled, std::memory_order_relaxed);
+  g_fired.fetch_add(s.fired, std::memory_order_relaxed);
+  g_tombstone_pops.fetch_add(s.tombstone_pops, std::memory_order_relaxed);
+  g_deferred_rearms.fetch_add(s.deferred_rearms, std::memory_order_relaxed);
+  g_reschedules.fetch_add(s.reschedules, std::memory_order_relaxed);
+  std::int64_t peak = g_peak_heap.load(std::memory_order_relaxed);
+  while (peak < s.peak_heap &&
+         !g_peak_heap.compare_exchange_weak(peak, s.peak_heap,
+                                            std::memory_order_relaxed)) {
+  }
+}
 
 Engine::Entry Engine::pop_min() {
   // Bottom-up extraction: walk the hole left by the root down the
@@ -33,7 +73,7 @@ Engine::Entry Engine::pop_min() {
       const std::size_t b = k3 < k2 ? first + 3 : first + 2;
       const unsigned __int128 kb = k3 < k2 ? k3 : k2;
       const std::size_t best = kb < ka ? b : a;
-      heap_[hole] = heap_[best];
+      put(hole, heap_[best]);
       hole = best;
       continue;
     }
@@ -46,44 +86,108 @@ Engine::Entry Engine::pop_min() {
       best = lt ? c : best;
       best_key = lt ? ck : best_key;
     }
-    heap_[hole] = heap_[best];
+    put(hole, heap_[best]);
     hole = best;
   }
   while (hole > 0) {
     const std::size_t parent = (hole - 1) >> 2;
     if (last.key >= heap_[parent].key) break;
-    heap_[hole] = heap_[parent];
+    put(hole, heap_[parent]);
     hole = parent;
   }
-  heap_[hole] = last;
+  put(hole, last);
   return top;
+}
+
+void Engine::sift_down(std::size_t i) {
+  // Only reached from reschedule() re-keying an entry to the same
+  // instant (fresh seq grows the key), so the walk is usually short.
+  const Entry value = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    unsigned __int128 best_key = heap_[first].key;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      const unsigned __int128 ck = heap_[c].key;
+      const bool lt = ck < best_key;
+      best = lt ? c : best;
+      best_key = lt ? ck : best_key;
+    }
+    if (value.key <= best_key) break;
+    put(i, heap_[best]);
+    i = best;
+  }
+  put(i, value);
+}
+
+// Cold: one call per 256 nodes. Out of line (and never inlined) so
+// acquire_node() stays small enough to inline into the schedule path.
+__attribute__((noinline)) void Engine::grow_slab() {
+  chunks_.push_back(std::make_unique<Node[]>(std::size_t{1} << kChunkShift));
+  slot_of_.resize(chunks_.size() << kChunkShift);
+  deferred_.resize(chunks_.size() << kChunkShift);
 }
 
 void Engine::release_node(std::uint32_t slot) {
   // Bumping the generation invalidates every outstanding handle to the
   // node's previous tenant; stale cancel()/pending() become no-ops.
+  // deferred_[slot] may hold stale data — harmless, the tag bit that
+  // validates it died with the heap entry.
   Node& n = node(slot);
   ++n.gen;
   n.cancelled = false;
+  n.tracked = false;
   n.fn = Callback();
   free_nodes_.push_back(slot);
+}
+
+// Out of line (and never inlined) so step()'s fast path stays compact:
+// inlining the re-arm push + sift would triple step()'s code size and
+// measurably slow the common fire path.
+__attribute__((noinline)) void Engine::resolve_tagged(
+    std::uint32_t tagged_node) {
+  // The deadline moved later while this entry was armed. Cancel still
+  // wins: a cancelled-after-deferral event tombstones here and its
+  // deferred key is never pushed.
+  const std::uint32_t id = tagged_node & kNodeIdMask;
+  if (node(id).cancelled) {
+    ++stats_.tombstone_pops;
+    release_node(id);
+    return;
+  }
+  // Re-arm with the (when, seq) pair stored at reschedule() time — one
+  // push (still tracked, so later reschedules keep working), no firing.
+  ++stats_.deferred_rearms;
+  const Deferred d = deferred_[id];
+  heap_.push_back(Entry{make_key(d.when, d.seq), id | kTrackedBit});
+  sift_up(heap_.size() - 1);
 }
 
 bool Engine::step(SimTime horizon) {
   while (!heap_.empty()) {
     if (when_of(heap_.front()) > horizon) return false;
     const Entry top = pop_min();
-    Node& n = node(top.node);
+    if (top.node & kDeferredBit) [[unlikely]] {
+      resolve_tagged(top.node);
+      continue;
+    }
+    const std::uint32_t id = top.node & kNodeIdMask;
+    Node& n = node(id);
     if (n.cancelled) {
-      release_node(top.node);
+      ++stats_.tombstone_pops;
+      release_node(id);
       continue;
     }
     now_ = when_of(top);
+    ++stats_.fired;
     // Move the callback out and release the node before invoking, so the
     // event reads as no-longer-pending from inside its own callback and
     // nested scheduling can reuse the node immediately.
     Callback fn = std::move(n.fn);
-    release_node(top.node);
+    release_node(id);
     fn();
     return true;
   }
@@ -99,15 +203,6 @@ std::int64_t Engine::run(SimTime horizon) {
     now_ = horizon;
   }
   return fired;
-}
-
-bool Engine::run_until(const std::function<bool()>& predicate,
-                       SimTime horizon) {
-  if (predicate()) return true;
-  while (step(horizon)) {
-    if (predicate()) return true;
-  }
-  return predicate();
 }
 
 }  // namespace pinsim::sim

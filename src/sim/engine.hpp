@@ -9,17 +9,41 @@
 // Hot-path design: each event's callback (a small-buffer-optimized
 // move-only util::MoveFunction) and cancellation flag live in a slab
 // node recycled through a free list — no shared_ptr control block per
-// event. The heap itself holds only trivially-copyable 24-byte entries
-// (time, sequence, node index), so sift-up/down moves are plain copies
-// instead of type-erased callback moves. Generation counters on the
-// nodes make stale handles to recycled nodes inert. Fire-and-forget
-// call sites use schedule_detached(), which skips handle construction.
+// event. The heap itself holds only trivially-copyable entries (time,
+// sequence, node index) packed into one 128-bit key, so sift-up/down
+// moves are plain copies instead of type-erased callback moves.
+// Generation counters on the nodes make stale handles to recycled nodes
+// inert. Fire-and-forget call sites use schedule_detached(), which
+// skips handle construction.
+//
+// Timer re-arming is tombstone-free: reschedule() moves a pending
+// event's deadline in place. Re-armable events are scheduled through
+// schedule_tracked()/schedule_tracked_at(), which tag the heap entry;
+// tracked entries maintain a dense node→heap-slot back-pointer array
+// (updated on every heap move, the Task::rq_index trick) that lets
+// reschedule() find the live entry in O(1). Moving a deadline *earlier*
+// is then an O(log n) decrease-key on the live entry. Moving it *later*
+// is a lazy deferral: the new (deadline, seq) pair goes into a dense
+// side array, the live entry gets a second tag bit, and the heap entry
+// is otherwise left alone; when the stale entry reaches the top, step()
+// re-arms it with a single push instead of firing. Either way the event
+// keeps the fire-order key (when, seq-at-reschedule-time) that a
+// cancel() + fresh schedule() would have produced, so simulations are
+// bit-identical to the historical cancel+push pattern — without its
+// dead heap entries.
+//
+// Tracking is opt-in because it is not free: maintaining back-pointers
+// for every entry would add a store to every sift move of every pop,
+// which measurably slows all simulation. A typical kernel has a handful
+// of re-armable timers (per-core boundary timers, the housekeeping
+// tick) among millions of fire-once events, so untracked entries pay
+// only a predicted-not-taken branch per heap move.
+//
 // Handles must not outlive the engine that issued them (they hold a raw
 // pointer into it); default-constructed handles are inert.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,6 +54,25 @@
 namespace pinsim::sim {
 
 class Engine;
+
+/// Always-on event-engine counters. The only counter the fire fast path
+/// maintains is `fired` (one register add); the rest increment on cold
+/// paths or are derived at read time, so the accounting never shows up
+/// in simulation profiles. Per-instance via Engine::stats();
+/// process-wide totals via aggregate_engine_stats().
+struct EngineStats {
+  std::int64_t scheduled = 0;        // schedule()/schedule_detached() events
+  std::int64_t fired = 0;            // callbacks invoked
+  std::int64_t tombstone_pops = 0;   // cancelled entries discarded by pop
+  std::int64_t deferred_rearms = 0;  // stale entries re-pushed at new deadline
+  std::int64_t reschedules = 0;      // reschedule() calls served in place
+  std::int64_t peak_heap = 0;        // high-water mark of pending entries
+};
+
+/// Process-wide totals across every Engine destroyed so far (each engine
+/// folds its counters in on destruction). The figure benches print this
+/// under --stats; worker-thread engines accumulate atomically.
+EngineStats aggregate_engine_stats();
 
 /// Cancellation handle for a scheduled event. Default-constructed handles
 /// are inert; cancelling twice is a no-op. Valid only while the issuing
@@ -59,6 +102,7 @@ class Engine {
   using Callback = util::MoveFunction;
 
   Engine() = default;
+  ~Engine();
   // EventHandles hold raw pointers into the engine, so it must stay put.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -80,17 +124,56 @@ class Engine {
   void schedule_detached(SimDuration delay, Callback fn);
   void schedule_detached_at(SimTime when, Callback fn);
 
+  /// Tracked variants: like schedule()/schedule_at(), but the returned
+  /// handle additionally supports reschedule(). Use for persistent
+  /// re-armable timers; plain schedule() is cheaper for fire-once
+  /// events (tracked entries pay a back-pointer store per heap move).
+  EventHandle schedule_tracked(SimDuration delay, Callback fn);
+  EventHandle schedule_tracked_at(SimTime when, Callback fn);
+
+  /// Move a pending event's deadline to `when` (>= now()) without
+  /// cancelling it — the callback is untouched. The handle must come
+  /// from schedule_tracked()/schedule_tracked_at() (checked). Returns
+  /// false (and does nothing) when the handle is inert, cancelled, or
+  /// already fired; the caller then schedules afresh. Fire order is
+  /// exactly what cancel() plus a new schedule_tracked_at() would give:
+  /// the event is re-keyed with a fresh sequence number, so among
+  /// same-instant events it fires last.
+  bool reschedule(EventHandle& handle, SimTime when);
+
   /// Run until the event queue drains or `horizon` is reached (events at
   /// exactly `horizon` still fire). Returns the number of events fired.
   std::int64_t run(SimTime horizon = kNoHorizon);
 
   /// Run until `predicate()` becomes true (checked after each event) or
   /// the queue drains. Returns true when the predicate was satisfied.
-  bool run_until(const std::function<bool()>& predicate,
-                 SimTime horizon = kNoHorizon);
+  /// The predicate is a template parameter so tight measure loops pay a
+  /// direct call per event, not type-erased std::function dispatch.
+  template <typename Predicate>
+  bool run_until(Predicate&& predicate, SimTime horizon = kNoHorizon) {
+    if (predicate()) return true;
+    while (step(horizon)) {
+      if (predicate()) return true;
+    }
+    return predicate();
+  }
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
+
+  /// Counter snapshot. `scheduled` and `peak_heap` are derived here
+  /// rather than maintained per event: every reschedule() and every
+  /// schedule consumes exactly one sequence number, so scheduled =
+  /// next_seq_ - reschedules; and heap entries map 1:1 onto live slab
+  /// nodes (a node is released exactly when its entry pops), so the
+  /// slab high-water mark IS the heap high-water mark.
+  EngineStats stats() const {
+    EngineStats s = stats_;
+    s.scheduled =
+        static_cast<std::int64_t>(next_seq_) - stats_.reschedules;
+    s.peak_heap = static_cast<std::int64_t>(node_count_);
+    return s;
+  }
 
   static constexpr SimTime kNoHorizon = INT64_MAX;
 
@@ -99,11 +182,23 @@ class Engine {
 
   /// Slab node: the event's callback plus cancellation state. The
   /// generation counter distinguishes the current tenant event from
-  /// stale handles to earlier tenants of the same node.
+  /// stale handles to earlier tenants of the same node. Deliberately
+  /// free of reschedule state: growing the node (~72 bytes, the pop
+  /// path's main cache-line traffic) measurably slows every simulation.
+  /// `tracked` packs into the tail padding next to `cancelled`.
   struct Node {
     Callback fn;
     std::uint64_t gen = 0;
     bool cancelled = false;
+    bool tracked = false;
+  };
+
+  /// Deferred re-arm key for a node whose deadline moved later while its
+  /// heap entry stayed armed. Only valid while the entry carries
+  /// kDeferredBit; stale contents are harmless once the bit clears.
+  struct Deferred {
+    SimTime when;
+    std::uint64_t seq;
   };
 
   /// Heap entry: trivially copyable so sift moves are plain copies. The
@@ -114,8 +209,20 @@ class Engine {
   /// starts at zero and only advances), so the unsigned compare is safe.
   struct Entry {
     unsigned __int128 key;
+    /// Node id, with kTrackedBit tagged in for rescheduleable entries
+    /// and kDeferredBit tagged in when the event's deadline moved later
+    /// than this entry's key (see reschedule()).
     std::uint32_t node;
   };
+
+  /// Tag bits on Entry::node. kTrackedBit marks an entry that maintains
+  /// its node→slot back-pointer in slot_of_; kDeferredBit marks an
+  /// entry whose node has a pending deferral in deferred_ (implies
+  /// tracked). Node ids stay far below 2^30 (the slab would exceed
+  /// memory long before), so the bits are free.
+  static constexpr std::uint32_t kDeferredBit = 0x80000000u;
+  static constexpr std::uint32_t kTrackedBit = 0x40000000u;
+  static constexpr std::uint32_t kNodeIdMask = kTrackedBit - 1;
   static unsigned __int128 make_key(SimTime when, std::uint64_t seq) {
     return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(when))
             << 64) |
@@ -129,6 +236,25 @@ class Engine {
   /// next event lies beyond `horizon`.
   bool step(SimTime horizon);
 
+  /// Slow path for a popped entry tagged kDeferredBit: tombstone it if
+  /// cancelled, otherwise re-push at its deferred (when, seq). Kept out
+  /// of line so step()'s fast path stays small enough to inline well.
+  void resolve_tagged(std::uint32_t tagged_node);
+
+  /// Store `e` at heap index `i`, and for tracked entries point the
+  /// node back at the slot. The back-pointers live in `slot_of_` — a
+  /// dense 4-bytes-per-node array, not the slab nodes — and untracked
+  /// entries (the vast majority) skip the store entirely: one
+  /// predicted-not-taken branch per heap move instead of an
+  /// unconditional extra store, which benchmarked ~1.5x slower on
+  /// schedule/fire-heavy workloads.
+  void put(std::size_t i, const Entry& e) {
+    heap_[i] = e;
+    if (e.node & kTrackedBit) [[unlikely]] {
+      slot_of_[e.node & kNodeIdMask] = static_cast<std::uint32_t>(i);
+    }
+  }
+
   // 4-ary min-heap: half the depth of a binary heap and the four
   // children share cache lines, so drain-heavy workloads sift faster.
   void sift_up(std::size_t i) {
@@ -136,11 +262,12 @@ class Engine {
     while (i > 0) {
       const std::size_t parent = (i - 1) >> 2;
       if (value.key >= heap_[parent].key) break;
-      heap_[i] = heap_[parent];
+      put(i, heap_[parent]);
       i = parent;
     }
-    heap_[i] = value;
+    put(i, value);
   }
+  void sift_down(std::size_t i);
   Entry pop_min();
 
   std::uint32_t push_event(SimTime when, Callback&& fn) {
@@ -150,18 +277,31 @@ class Engine {
     sift_up(heap_.size() - 1);
     return slot;
   }
+  std::uint32_t push_event_tracked(SimTime when, Callback&& fn) {
+    const std::uint32_t slot = acquire_node();
+    Node& n = node(slot);
+    n.fn = std::move(fn);
+    n.tracked = true;
+    heap_.push_back(Entry{make_key(when, next_seq_++), slot | kTrackedBit});
+    sift_up(heap_.size() - 1);
+    return slot;
+  }
   std::uint32_t acquire_node() {
     if (!free_nodes_.empty()) {
       const std::uint32_t slot = free_nodes_.back();
       free_nodes_.pop_back();
       return slot;
     }
-    if ((node_count_ >> kChunkShift) == chunks_.size()) {
-      chunks_.push_back(
-          std::make_unique<Node[]>(std::size_t{1} << kChunkShift));
+    // grow_slab() is outlined: with the chunk allocation and the two
+    // side-array resizes inlined here, acquire_node() exceeds the
+    // inliner's budget and turns into an out-of-line call on every
+    // schedule — measurably slower than keeping this wrapper tiny.
+    if ((node_count_ >> kChunkShift) == chunks_.size()) [[unlikely]] {
+      grow_slab();
     }
     return node_count_++;
   }
+  void grow_slab();
   void release_node(std::uint32_t node);
 
   // Nodes live in fixed-size chunks so growing the slab never relocates
@@ -187,9 +327,14 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::vector<Entry> heap_;  // 4-ary min-heap ordered by (when, seq)
+  /// node id -> index of its live heap entry (valid while pending).
+  std::vector<std::uint32_t> slot_of_;
+  /// node id -> deferred re-arm key (valid while the entry is tagged).
+  std::vector<Deferred> deferred_;
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::uint32_t node_count_ = 0;
   std::vector<std::uint32_t> free_nodes_;
+  EngineStats stats_;
 };
 
 inline void EventHandle::cancel() {
@@ -225,6 +370,59 @@ inline void Engine::schedule_detached_at(SimTime when, Callback fn) {
                    "event scheduled before now (" << when << " < " << now_
                                                   << ")");
   push_event(when, std::move(fn));
+}
+
+inline EventHandle Engine::schedule_tracked(SimDuration delay, Callback fn) {
+  PINSIM_CHECK_MSG(delay >= 0, "event scheduled in the past (delay=" << delay
+                                                                     << ")");
+  return schedule_tracked_at(now_ + delay, std::move(fn));
+}
+
+inline EventHandle Engine::schedule_tracked_at(SimTime when, Callback fn) {
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event scheduled before now (" << when << " < " << now_
+                                                  << ")");
+  const std::uint32_t slot = push_event_tracked(when, std::move(fn));
+  return EventHandle(this, slot, node(slot).gen);
+}
+
+inline bool Engine::reschedule(EventHandle& handle, SimTime when) {
+  if (handle.engine_ != this) return false;  // inert or foreign handle
+  Node& n = node(handle.slot_);
+  if (n.gen != handle.gen_ || n.cancelled) return false;
+  PINSIM_CHECK_MSG(n.tracked,
+                   "reschedule() on an untracked event; use "
+                   "schedule_tracked()/schedule_tracked_at()");
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event rescheduled before now (" << when << " < " << now_
+                                                    << ")");
+  // One sequence number per re-arm, exactly like the cancel+push pattern
+  // this replaces — so every other event's seq (and thus every FIFO
+  // tie-break) is unchanged.
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.reschedules;
+  const std::uint32_t slot = slot_of_[handle.slot_];
+  const SimTime armed = when_of(heap_[slot]);
+  if (when > armed) {
+    // Later than the live entry: defer lazily. step() re-arms with one
+    // push when the tagged entry surfaces at `armed`. Repeated
+    // deferrals just overwrite the side-array key.
+    deferred_[handle.slot_] = Deferred{when, seq};
+    heap_[slot].node = handle.slot_ | kTrackedBit | kDeferredBit;
+    return true;
+  }
+  // At or before the live entry: re-key in place (clearing any deferral
+  // tag from an earlier move). Equal-time re-arms still grow the key
+  // (fresh seq), so they sift down, never up.
+  heap_[slot].node = handle.slot_ | kTrackedBit;
+  const bool earlier = when < armed;
+  heap_[slot].key = make_key(when, seq);
+  if (earlier) {
+    sift_up(slot);
+  } else {
+    sift_down(slot);
+  }
+  return true;
 }
 
 }  // namespace pinsim::sim

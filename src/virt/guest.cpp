@@ -528,8 +528,15 @@ void GuestKernel::ensure_housekeeping() {
   for (auto& next : cgroup_next_period_) {
     next = std::max(next, host_->engine().now());
   }
-  host_->engine().schedule_detached(host_->costs().cgroup_aggregate_interval,
-                           [this] { housekeeping_tick(); });
+  arm_housekeeping(host_->costs().cgroup_aggregate_interval);
+}
+
+void GuestKernel::arm_housekeeping(SimDuration delay) {
+  sim::Engine& engine = host_->engine();
+  const SimTime when = engine.now() + delay;
+  if (engine.reschedule(housekeeping_, when)) return;
+  housekeeping_ =
+      engine.schedule_tracked_at(when, [this] { housekeeping_tick(); });
 }
 
 void GuestKernel::balance_idle_vcpus() {
@@ -646,8 +653,7 @@ void GuestKernel::housekeeping_tick() {
       }
     }
   }
-  host_->engine().schedule_detached(costs.cgroup_aggregate_interval,
-                           [this] { housekeeping_tick(); });
+  arm_housekeeping(costs.cgroup_aggregate_interval);
 }
 
 }  // namespace pinsim::virt

@@ -142,6 +142,11 @@ class GuestKernel {
 
   void ensure_housekeeping();
   void housekeeping_tick();
+  /// Arm the guest's persistent housekeeping timer for now+delay via
+  /// sim::Engine::reschedule (one fresh push right after a tick fired,
+  /// an in-place move otherwise — same mechanism as the host kernel's
+  /// boundary timers).
+  void arm_housekeeping(SimDuration delay);
   /// Guest periodic load balance: push queued work to halted vCPUs (the
   /// guest's timer-tick balancing; without it an HLT'd vCPU would sleep
   /// through imbalance forever).
@@ -160,6 +165,7 @@ class GuestKernel {
   std::vector<std::unique_ptr<os::Cgroup>> cgroups_;
   std::vector<SimTime> cgroup_next_period_;
   bool housekeeping_active_ = false;
+  sim::EventHandle housekeeping_;
   std::int64_t housekeeping_ticks_ = 0;
   int live_tasks_ = 0;
   GuestStats stats_;

@@ -156,6 +156,33 @@ TEST(KernelCgroupTest, AggregationEventsRecorded) {
   EXPECT_GT(group.stats().aggregations, 10);
 }
 
+TEST(KernelCgroupTest, BoundaryTimerChurnLeavesNoTombstones) {
+  // The boundary-reprogram storm of a quota-governed sweep used to leave
+  // one tombstone per re-arm in the event heap. With persistent timers
+  // driven through Engine::reschedule, popped-dead entries should be a
+  // vanishing fraction of fired events (only genuine cancels remain:
+  // cores going idle, wakeup retractions).
+  Harness h(hw::Topology(2, 8, 1, 16.0), 7);
+  Cgroup& group = h.kernel.create_cgroup({"cn", 3.0, {}});
+  for (int i = 0; i < 12; ++i) {
+    TaskConfig config;
+    config.cgroup = &group;
+    Task& t = h.kernel.create_task("w" + std::to_string(i),
+                                   compute_sleep_loop(msec(2), msec(1), 60),
+                                   config);
+    h.kernel.start_task(t);
+  }
+  EXPECT_TRUE(h.kernel.run_until_quiescent());
+  const sim::EngineStats& stats = h.engine.stats();
+  ASSERT_GT(stats.fired, 1000);
+  EXPECT_GT(stats.reschedules, 0);
+  // Tombstone pops must be a rounding error relative to fired events.
+  EXPECT_LT(static_cast<double>(stats.tombstone_pops),
+            0.02 * static_cast<double>(stats.fired))
+      << "tombstone_pops=" << stats.tombstone_pops
+      << " fired=" << stats.fired;
+}
+
 TEST(KernelCgroupTest, TaskWokenDuringThrottleParksUntilRefill) {
   Harness h(hw::Topology(1, 1, 1, 16.0));
   Cgroup& group = h.kernel.create_cgroup({"cn", 0.2, {}});

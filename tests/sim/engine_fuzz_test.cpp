@@ -1,7 +1,13 @@
-// Randomized stress of the event engine: ordering, cancellation, and
-// nested-scheduling invariants under thousands of random operations.
+// Randomized stress of the event engine: ordering, cancellation,
+// in-place rescheduling, and nested-scheduling invariants under
+// thousands of random operations, including a reference-model fuzz
+// against a std::multimap oracle.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -74,6 +80,91 @@ TEST_P(EngineFuzzTest, HorizonSplitEqualsFullRun) {
     return order;
   };
   EXPECT_EQ(run_collect(false), run_collect(true));
+}
+
+TEST_P(EngineFuzzTest, RescheduleMatchesMultimapOracle) {
+  // Reference model: a std::multimap keyed by (deadline, seq) where seq
+  // mirrors the engine's internal sequence counter — one tick per
+  // schedule and per successful reschedule. The engine must fire
+  // exactly the oracle's key order through any interleaving of
+  // schedule / cancel / reschedule-earlier / reschedule-later / run.
+  Rng rng(GetParam() * 1007 + 11);
+  Engine engine;
+  using Key = std::pair<SimTime, std::uint64_t>;
+  std::multimap<Key, int> oracle;
+  std::map<int, std::multimap<Key, int>::iterator> live;
+  std::map<int, EventHandle> handles;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::vector<int> dead;
+  std::uint64_t seq = 0;
+  std::int64_t cancelled_count = 0;
+  int next_id = 0;
+
+  auto random_live = [&]() -> int {
+    if (live.empty()) return -1;
+    auto it = live.begin();
+    std::advance(it, rng.uniform_int(0, static_cast<int>(live.size()) - 1));
+    return it->first;
+  };
+
+  for (int round = 0; round < 80; ++round) {
+    const int ops = static_cast<int>(rng.uniform_int(1, 40));
+    for (int op = 0; op < ops; ++op) {
+      const std::int64_t dice = rng.uniform_int(0, 99);
+      if (dice < 50 || live.empty()) {
+        const auto delay = static_cast<SimDuration>(rng.uniform_int(0, 5000));
+        const int id = next_id++;
+        handles[id] = engine.schedule_tracked(
+            delay, [&fired, id] { fired.push_back(id); });
+        live[id] = oracle.emplace(Key{engine.now() + delay, seq++}, id);
+      } else if (dice < 65) {
+        const int id = random_live();
+        handles[id].cancel();
+        EXPECT_FALSE(handles[id].pending());
+        oracle.erase(live[id]);
+        live.erase(id);
+        dead.push_back(id);
+        ++cancelled_count;
+        // A cancelled handle must refuse in-place rescheduling (and must
+        // not consume a sequence number — the oracle would drift).
+        EXPECT_FALSE(engine.reschedule(handles[id], engine.now() + 1));
+      } else if (dice < 90) {
+        const int id = random_live();
+        const auto when = static_cast<SimTime>(
+            engine.now() + rng.uniform_int(0, 5000));
+        ASSERT_TRUE(engine.reschedule(handles[id], when));
+        oracle.erase(live[id]);
+        live[id] = oracle.emplace(Key{when, seq++}, id);
+      } else if (!dead.empty()) {
+        // Fired or cancelled events are gone for good.
+        const int id = dead[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(dead.size()) - 1))];
+        EXPECT_FALSE(engine.reschedule(handles[id], engine.now() + 1));
+      }
+    }
+
+    const auto horizon = static_cast<SimTime>(
+        engine.now() + rng.uniform_int(0, 8000));
+    engine.run(horizon);
+    while (!oracle.empty() && oracle.begin()->first.first <= horizon) {
+      const int id = oracle.begin()->second;
+      expected.push_back(id);
+      live.erase(id);
+      dead.push_back(id);
+      oracle.erase(oracle.begin());
+    }
+    ASSERT_EQ(fired, expected);
+  }
+
+  engine.run();
+  for (const auto& [key, id] : oracle) expected.push_back(id);
+  EXPECT_EQ(fired, expected);
+  EXPECT_TRUE(engine.empty());
+  // Only explicit cancels leave tombstones now; every reschedule was
+  // served in place (deferred re-arm or re-key), never by a dead entry.
+  EXPECT_EQ(engine.stats().tombstone_pops, cancelled_count);
+  EXPECT_EQ(engine.stats().fired, static_cast<std::int64_t>(fired.size()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,

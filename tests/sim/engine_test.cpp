@@ -196,5 +196,120 @@ TEST(EngineTest, ReturnsEventCount) {
   EXPECT_EQ(engine.run(), 5);
 }
 
+TEST(EngineTest, RescheduleLaterDefersFiring) {
+  Engine engine;
+  std::vector<int> order;
+  EventHandle moved =
+      engine.schedule_tracked(msec(1), [&] { order.push_back(1); });
+  engine.schedule(msec(2), [&] { order.push_back(2); });
+  EXPECT_TRUE(engine.reschedule(moved, msec(3)));
+  EXPECT_TRUE(moved.pending());
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(engine.now(), msec(3));
+}
+
+TEST(EngineTest, RescheduleEarlierDecreasesKey) {
+  Engine engine;
+  std::vector<int> order;
+  EventHandle moved =
+      engine.schedule_tracked(msec(5), [&] { order.push_back(5); });
+  engine.schedule(msec(2), [&] { order.push_back(2); });
+  EXPECT_TRUE(engine.reschedule(moved, msec(1)));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 2}));
+}
+
+TEST(EngineTest, RescheduleSameInstantDropsBehindTies) {
+  // A reschedule consumes a fresh sequence number even when the deadline
+  // is unchanged — exactly like the cancel+push it replaces, so a
+  // re-armed event fires after same-instant events scheduled before the
+  // reschedule happened.
+  Engine engine;
+  std::vector<int> order;
+  EventHandle moved =
+      engine.schedule_tracked(msec(1), [&] { order.push_back(1); });
+  engine.schedule(msec(1), [&] { order.push_back(2); });
+  EXPECT_TRUE(engine.reschedule(moved, msec(1)));
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(EngineTest, RescheduleDeadHandleFails) {
+  Engine engine;
+  EventHandle fired_handle = engine.schedule_tracked(msec(1), [] {});
+  EventHandle cancelled_handle = engine.schedule_tracked(msec(2), [] {});
+  cancelled_handle.cancel();
+  engine.run();
+  EXPECT_FALSE(engine.reschedule(fired_handle, engine.now() + msec(1)));
+  EXPECT_FALSE(engine.reschedule(cancelled_handle, engine.now() + msec(1)));
+  EventHandle inert;
+  EXPECT_FALSE(engine.reschedule(inert, engine.now() + msec(1)));
+}
+
+TEST(EngineTest, CancelWinsOverDeferredReschedule) {
+  Engine engine;
+  bool fired = false;
+  EventHandle handle = engine.schedule_tracked(msec(1), [&] { fired = true; });
+  EXPECT_TRUE(engine.reschedule(handle, msec(5)));  // lazy deferral
+  handle.cancel();
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineTest, RepeatedDeferralKeepsLatestDeadline) {
+  Engine engine;
+  SimTime fired_at = -1;
+  EventHandle handle =
+      engine.schedule_tracked(msec(1), [&] { fired_at = engine.now(); });
+  EXPECT_TRUE(engine.reschedule(handle, msec(4)));
+  EXPECT_TRUE(engine.reschedule(handle, msec(7)));
+  EXPECT_TRUE(engine.reschedule(handle, msec(6)));  // earlier than deferred
+  engine.run();
+  EXPECT_EQ(fired_at, msec(6));
+}
+
+TEST(EngineTest, StatsCountFiresTombstonesAndDeferrals) {
+  // stats() derives scheduled/peak_heap at read time, so each snapshot
+  // must be taken after the activity it checks.
+  Engine engine;
+  EventHandle cancelled_handle = engine.schedule(msec(1), [] {});
+  EventHandle deferred = engine.schedule_tracked(msec(2), [] {});
+  engine.schedule(msec(3), [] {});
+  EXPECT_EQ(engine.stats().scheduled, 3);
+  EXPECT_EQ(engine.stats().peak_heap, 3);
+  cancelled_handle.cancel();
+  EXPECT_TRUE(engine.reschedule(deferred, msec(5)));
+  engine.run();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.scheduled, 3);       // reschedule is not a new event
+  EXPECT_EQ(stats.fired, 2);           // cancelled one never fires
+  EXPECT_EQ(stats.tombstone_pops, 1);  // only the explicit cancel
+  EXPECT_EQ(stats.deferred_rearms, 1);
+  EXPECT_EQ(stats.reschedules, 1);
+}
+
+TEST(EngineTest, RescheduleUntrackedPendingHandleIsInvariantViolation) {
+  // reschedule() requires a handle from schedule_tracked(); a pending
+  // handle from plain schedule() has no back-pointer to move in place,
+  // so the engine must refuse loudly rather than corrupt the heap.
+  Engine engine;
+  EventHandle handle = engine.schedule(msec(1), [] {});
+  EXPECT_THROW(engine.reschedule(handle, msec(2)), InvariantViolation);
+  handle.cancel();
+  engine.run();
+}
+
+TEST(EngineTest, RescheduleEarlierLeavesNoTombstone) {
+  Engine engine;
+  EventHandle handle = engine.schedule_tracked(msec(5), [] {});
+  EXPECT_TRUE(engine.reschedule(handle, msec(1)));
+  engine.run();
+  EXPECT_EQ(engine.stats().tombstone_pops, 0);
+  EXPECT_EQ(engine.stats().deferred_rearms, 0);
+  EXPECT_EQ(engine.stats().fired, 1);
+}
+
 }  // namespace
 }  // namespace pinsim::sim
