@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a Release-config perf smoke.
+# Tier-1 verification plus sanitizer and Release-config perf stages.
 #
 # 1. Configure + build + ctest in the default (RelWithDebInfo) tree —
-#    exactly the ROADMAP tier-1 command.
+#    exactly the ROADMAP tier-1 command, with PINSIM_WERROR=ON so the
+#    hardened warning set (-Wall -Wextra -Wshadow -Wnon-virtual-dtor
+#    -Wold-style-cast) is zero-tolerance, and with the pinsim_lint
+#    tree scan and fixture suite running as ctests (determinism /
+#    ordering / index-safety / engine-api / hygiene invariants).
 # 2. Build + run the tier-1 tests under ASan+UBSan (the indexed-heap
 #    runqueue and the flat cgroup slice arrays index by raw task/cpu
 #    ids; the sanitizers catch any stale-index use the unit tests
 #    would miss). Skip with PINSIM_SKIP_SANITIZERS=1 for a quick pass.
-# 3. Build micro_engine + micro_sched in a Release tree so perf-relevant
+# 3. Build + run the parallel-harness tests under ThreadSanitizer
+#    (util::ThreadPool and ExperimentRunner::measure_all are the only
+#    concurrent code in the tree; TSan is the only tool that proves
+#    the sharded-sweep protocol race-free). Skipped together with the
+#    other sanitizers via PINSIM_SKIP_SANITIZERS=1.
+# 4. Build micro_engine + micro_sched in a Release tree so perf-relevant
 #    flags (-O2 -DNDEBUG) compile on every PR, and run both micro suites
 #    once, writing machine-readable timings to BENCH_engine_latest.json
 #    and BENCH_sched_latest.json (both gitignored; diff against the
@@ -16,8 +25,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
+echo "== tier-1: configure + build + ctest (warnings are errors) =="
+cmake -B build -S . -DPINSIM_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j --timeout 300)
 
@@ -27,6 +36,13 @@ if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   cmake --build build-asan --target pinsim_tests pinsim_examples -j
   (cd build-asan && ctest --output-on-failure -j --timeout 300)
+
+  echo "== parallel harness under TSan =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+  cmake --build build-tsan --target pinsim_tests -j
+  ./build-tsan/tests/pinsim_tests \
+    --gtest_filter='ThreadPoolTest.*:ExperimentParallelTest.*'
 fi
 
 echo "== Release build of the micro-benchmarks =="

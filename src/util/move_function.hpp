@@ -120,6 +120,15 @@ class MoveFunction {
 
   /// Take `other`'s callable; `other` becomes empty. Assumes *this is
   /// currently empty.
+  // Trivial and heap-owning callables relocate by copying the whole
+  // inline buffer; bytes past the callable's own size are indeterminate
+  // and never read, which GCC's interprocedural -W(maybe-)uninitialized
+  // cannot prove once steal() inlines into a caller holding a temporary.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   void steal(MoveFunction& other) noexcept {
     ops_ = other.ops_;
     kind_ = other.kind_;
@@ -132,6 +141,9 @@ class MoveFunction {
       other.ops_ = nullptr;
     }
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   void reset() {
     if (ops_ != nullptr) {

@@ -1,0 +1,40 @@
+// Fixture: constructs the determinism rule must NOT flag, analyzed as
+// if under src/os/.
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Clock {
+  long time() const { return 0; }
+  long rand() const { return 0; }
+};
+
+struct Ok {
+  std::map<int, int> ordered;
+  std::unordered_map<int, int> cache;
+  Clock clock_;
+
+  // Ordered iteration is deterministic and fine.
+  int sum() const {
+    int total = 0;
+    for (const auto& kv : ordered) total += kv.second;
+    return total;
+  }
+
+  // Point lookups (no iteration) into an unordered container are fine.
+  int lookup(int key) const { return cache.at(key); }
+
+  // Member calls merely *named* time()/rand() are not the libc calls.
+  long stamp() const { return clock_.time() + clock_.rand(); }
+
+  // A deliberate, annotated wall-clock read is allowed.
+  long wall() const {
+    return std::chrono::steady_clock::now()  // pinsim-lint: allow(determinism)
+        .time_since_epoch()
+        .count();
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a persistent timer re-armed through reschedule() but
+// originally armed with bare schedule() — the exact bug
+// schedule_tracked() exists to prevent (reschedule() CHECK-fails on an
+// untracked handle). Analyzed as if under src/os/ and under tests/
+// (where the engine-api rule does not apply).
+namespace fixture {
+
+struct Core {
+  sim::EventHandle boundary;
+};
+
+inline void rearm(sim::Engine& engine, Core& core, long when) {
+  if (engine.reschedule(core.boundary, when)) return;
+  core.boundary = engine.schedule(when, [] {});  // expect: engine-api
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: schedule uses the engine-api rule must NOT flag, analyzed
+// as if under src/os/.
+namespace fixture {
+
+struct Core {
+  sim::EventHandle boundary;
+};
+
+// The re-arm path arms with the tracked variant: fine.
+inline void rearm(sim::Engine& engine, Core& core, long when) {
+  if (engine.reschedule(core.boundary, when)) return;
+  core.boundary = engine.schedule_tracked_at(when, [] {});
+}
+
+// A deliberate one-shot next to the re-arm path, annotated:
+inline void one_shot(sim::Engine& engine, long delay) {
+  engine.schedule(delay, [] {});  // pinsim-lint: allow(engine-api)
+}
+
+}  // namespace fixture

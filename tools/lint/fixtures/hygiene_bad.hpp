@@ -1,0 +1,16 @@
+// expect: hygiene
+// ^ line 1 carries the missing-#pragma-once finding for this header.
+// Analyzed as if at src/core/fixture_hygiene_bad.hpp.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+using namespace std;  // expect: hygiene
+
+inline void report(int value) {
+  std::cout << value << "\n";  // expect: hygiene
+  printf("%d\n", value);       // expect: hygiene
+}
+
+}  // namespace fixture

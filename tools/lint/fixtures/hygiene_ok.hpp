@@ -1,0 +1,14 @@
+#pragma once
+// Fixture: a header satisfying every hygiene rule. Analyzed as if at
+// src/core/fixture_hygiene_ok.hpp.
+#include <string>
+
+namespace fixture {
+
+inline std::string label(int value) {
+  // Function-local using-directives do not leak into includers.
+  using namespace std::string_literals;
+  return "v"s + std::to_string(value);
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: uses of the guarded names the index-safety rule must NOT
+// flag outside the owning files. Analyzed as if under src/os/.
+#include <vector>
+
+namespace fixture {
+
+struct Task {
+  int rq_index = -1;
+};
+
+struct Reader {
+  std::vector<Task*> heap_;
+
+  // Plain reads/writes (no subscript) are fine anywhere — the rule
+  // only guards raw indexing.
+  bool queued(const Task& t) const { return t.rq_index >= 0; }
+  void clear(Task& t) { t.rq_index = -1; }
+
+  // A lambda capture is a bracket but not a subscript.
+  auto reader() {
+    return [this](const Task& t) { return t.rq_index >= 0; };
+  }
+
+  // Annotated raw access is allowed (deliberate, reviewed exception).
+  Task* raw(const Task& t) {
+    return heap_[t.rq_index];  // pinsim-lint: allow(index-safety)
+  }
+};
+
+}  // namespace fixture

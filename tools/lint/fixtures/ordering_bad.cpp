@@ -1,0 +1,18 @@
+// Fixture: pointer-keyed ordered containers the ordering rule must
+// catch, analyzed as if under src/virt/ (rule applies) and tests/
+// (rule does not).
+#include <functional>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Task;
+
+struct Bad {
+  std::map<Task*, int> weight_by_task;      // expect: ordering
+  std::set<const Task*> members;            // expect: ordering
+  std::set<Task*, std::less<Task*>> explicit_less;  // expect: ordering ordering
+};
+
+}  // namespace fixture

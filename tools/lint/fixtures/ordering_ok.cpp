@@ -1,0 +1,27 @@
+// Fixture: ordered-container uses the ordering rule must NOT flag,
+// analyzed as if under src/virt/.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Task;
+
+struct Ok {
+  // Pointer *values* behind a stable integer key are fine — only the
+  // key drives iteration order.
+  std::map<int, Task*> by_id;
+  std::set<std::string> names;
+  // An annotated, deliberate pointer key is allowed.
+  std::map<Task*, int> legacy;  // pinsim-lint: allow(ordering)
+};
+
+// A domain type that happens to be named `map` is not std::map.
+struct map_view {};
+template <typename T>
+struct set {};
+
+inline set<map_view*> views;  // unqualified: not flagged
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: suppression-annotation behaviour, analyzed as if under
+// src/os/. A whole-line `// pinsim-lint: allow(...)` comment covers
+// the next line; allow(all) covers every rule; an allow() naming a
+// different rule suppresses nothing.
+#include <ctime>
+
+namespace fixture {
+
+inline long deliberate_wall_clock() {
+  // pinsim-lint: allow(determinism)
+  return time(nullptr);
+}
+
+inline long deliberate_everything() {
+  // pinsim-lint: allow(all)
+  return time(nullptr);
+}
+
+inline long wrong_rule_still_fires() {
+  // pinsim-lint: allow(ordering)
+  return time(nullptr);  // expect: determinism
+}
+
+}  // namespace fixture

@@ -1,0 +1,650 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pinsim::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer. Produces a flat token stream with line numbers; comments and
+// string/char literals are consumed (their contents never reach the
+// rule passes), preprocessor directives are collapsed into one token
+// per logical line. Suppression annotations found in comments are
+// collected into a per-line allow map as a side effect.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kPunct, kNumber, kLiteral, kDirective };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  /// line -> rules allowed on that line ("all" allows everything).
+  std::map<int, std::set<std::string>> allows;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parse "pinsim-lint: allow(a, b)" out of a comment body and record
+/// the allowed rules for `line` (and `next_line` when the comment stood
+/// alone on its line — the annotation-above form).
+void record_allows(std::string_view comment, int line, bool whole_line,
+                   LexResult* out) {
+  const std::string_view marker = "pinsim-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string_view::npos) return;
+  std::size_t i = comment.find("allow", at + marker.size());
+  if (i == std::string_view::npos) return;
+  i = comment.find('(', i);
+  if (i == std::string_view::npos) return;
+  const std::size_t close = comment.find(')', i);
+  if (close == std::string_view::npos) return;
+  std::string names(comment.substr(i + 1, close - i - 1));
+  std::replace(names.begin(), names.end(), ',', ' ');
+  std::istringstream split(names);
+  std::string rule;
+  while (split >> rule) {
+    out->allows[line].insert(rule);
+    if (whole_line) out->allows[line + 1].insert(rule);
+  }
+}
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool line_has_code = false;  // any token before this point on `line`
+
+  auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      record_allows(src.substr(start, i - start), line, !line_has_code, &out);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline();
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      record_allows(src.substr(start, i - start), start_line, !line_has_code,
+                    &out);
+      continue;
+    }
+    // Preprocessor directive: consume the logical line (with
+    // continuations) so include paths and macro bodies never leak into
+    // the token stream as ordinary tokens.
+    if (c == '#' && !line_has_code) {
+      std::string text;
+      const int start_line = line;
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          newline();
+          continue;
+        }
+        text += src[i++];
+      }
+      out.tokens.push_back(Token{Token::kDirective, text, start_line});
+      line_has_code = true;
+      continue;
+    }
+    line_has_code = true;
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src.find(closer, p);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') newline();
+      }
+      out.tokens.push_back(Token{Token::kLiteral, "", line});
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') newline();  // unterminated; stay sane
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back(Token{Token::kLiteral, "", line});
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          Token{Token::kIdent, std::string(src.substr(start, i - start)),
+                line});
+      continue;
+    }
+    // Number (digit separators, exponents, hex floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          Token{Token::kNumber, std::string(src.substr(start, i - start)),
+                line});
+      continue;
+    }
+    // Punctuation: '::' and '->' are folded into one token, everything
+    // else is a single character.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back(Token{Token::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back(Token{Token::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back(Token{Token::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule-pass helpers.
+// ---------------------------------------------------------------------------
+
+class Checker {
+ public:
+  Checker(const Config& config, std::string_view path, const LexResult& lexed,
+          std::vector<Diagnostic>* out)
+      : config_(config), path_(path), lexed_(lexed), out_(out) {}
+
+  void run();
+
+ private:
+  const std::vector<Token>& toks() const { return lexed_.tokens; }
+
+  const Token* at(std::size_t i) const {
+    return i < toks().size() ? &toks()[i] : nullptr;
+  }
+  bool is_ident(std::size_t i, std::string_view text) const {
+    const Token* t = at(i);
+    return t != nullptr && t->kind == Token::kIdent && t->text == text;
+  }
+  bool is_punct(std::size_t i, std::string_view text) const {
+    const Token* t = at(i);
+    return t != nullptr && t->kind == Token::kPunct && t->text == text;
+  }
+
+  /// True for `name(` call/use sites that are not member accesses on
+  /// some unrelated object (`obj.time(...)`), not qualified by a
+  /// namespace other than std (`mylib::rand(...)`), and not a
+  /// declaration of an unrelated function that merely shares the name
+  /// (`long time() const;` — preceded by a type, i.e. a non-keyword
+  /// identifier or a declarator token).
+  bool is_free_or_std_call(std::size_t i) const {
+    if (!is_punct(i + 1, "(")) return false;
+    if (i == 0) return true;
+    const Token& prev = toks()[i - 1];
+    if (prev.kind == Token::kIdent) {
+      // `return time(...)` is a call; `long time()` is a declaration.
+      static const std::set<std::string> expression_keywords = {
+          "return", "co_return", "co_yield", "case", "else", "do", "throw"};
+      return expression_keywords.count(prev.text) != 0;
+    }
+    if (prev.kind != Token::kPunct) return true;
+    if (prev.text == "." || prev.text == "->") return false;
+    if (prev.text == "::") return i >= 2 && is_ident(i - 2, "std");
+    // `T* time(...)` / `T& rand(...)` declarator shapes.
+    if (prev.text == "*" || prev.text == "&") {
+      return !(i >= 2 && toks()[i - 2].kind == Token::kIdent);
+    }
+    return true;
+  }
+
+  void report(const std::string& rule, int line, std::string message) {
+    const auto it = lexed_.allows.find(line);
+    if (it != lexed_.allows.end() &&
+        (it->second.count(rule) != 0 || it->second.count("all") != 0)) {
+      return;
+    }
+    out_->push_back(
+        Diagnostic{rule, std::string(path_), line, std::move(message)});
+  }
+
+  /// Starting at the index of a '<', return the index one past its
+  /// matching '>' (token indexes). Also reports, via `has_pointer_key`,
+  /// whether the FIRST top-level template argument contains a '*'.
+  std::size_t skip_template_args(std::size_t open, bool* has_pointer_key);
+
+  /// Names of variables/members declared in this file with an
+  /// unordered_map/unordered_set type.
+  std::set<std::string> collect_unordered_names();
+
+  void check_determinism();
+  void check_ordering();
+  void check_index_safety();
+  void check_engine_api();
+  void check_hygiene();
+
+  const Config& config_;
+  std::string_view path_;
+  const LexResult& lexed_;
+  std::vector<Diagnostic>* out_;
+};
+
+std::size_t Checker::skip_template_args(std::size_t open,
+                                        bool* has_pointer_key) {
+  if (has_pointer_key != nullptr) *has_pointer_key = false;
+  int depth = 0;
+  bool in_first_arg = true;
+  std::size_t i = open;
+  for (; i < toks().size(); ++i) {
+    const Token& t = toks()[i];
+    if (t.kind != Token::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      --depth;
+      if (depth == 0) return i + 1;
+    } else if (t.text == "," && depth == 1) {
+      in_first_arg = false;
+    } else if (t.text == "*" && depth == 1 && in_first_arg &&
+               has_pointer_key != nullptr) {
+      *has_pointer_key = true;
+    } else if (t.text == ";" && depth > 0) {
+      break;  // malformed input; bail rather than scan the whole file
+    }
+  }
+  return i;
+}
+
+std::set<std::string> Checker::collect_unordered_names() {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (!(is_ident(i, "unordered_map") || is_ident(i, "unordered_set"))) {
+      continue;
+    }
+    if (!is_punct(i + 1, "<")) continue;
+    std::size_t j = skip_template_args(i + 1, nullptr);
+    // Skip declarator decorations between the type and the name.
+    while (j < toks().size() &&
+           (is_punct(j, "&") || is_punct(j, "*") || is_ident(j, "const"))) {
+      ++j;
+    }
+    const Token* name = at(j);
+    if (name != nullptr && name->kind == Token::kIdent) {
+      names.insert(name->text);
+    }
+  }
+  return names;
+}
+
+void Checker::check_determinism() {
+  const std::string rule = "determinism";
+  const std::set<std::string> unordered = collect_unordered_names();
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    const Token& t = toks()[i];
+    if (t.kind != Token::kIdent) continue;
+    // <anything>_clock::now — wall/monotonic clock reads.
+    if (t.text.size() > 6 &&
+        t.text.compare(t.text.size() - 6, 6, "_clock") == 0 &&
+        is_punct(i + 1, "::") && is_ident(i + 2, "now")) {
+      report(rule, toks()[i + 2].line,
+             "host clock read (" + t.text +
+                 "::now) in simulated code; derive time from Engine::now()");
+      continue;
+    }
+    if (t.text == "time" && is_free_or_std_call(i)) {
+      report(rule, t.line,
+             "time() reads the host clock; derive time from Engine::now()");
+      continue;
+    }
+    if (t.text == "rand" && is_free_or_std_call(i)) {
+      report(rule, t.line,
+             "rand() draws from hidden global state; use the seeded "
+             "util::Rng plumbed through the experiment");
+      continue;
+    }
+    if (t.text == "getenv" && is_free_or_std_call(i)) {
+      report(rule, t.line,
+             "getenv() makes simulated behaviour depend on the host "
+             "environment; thread configuration through parameters");
+      continue;
+    }
+    if (t.text == "random_device") {
+      report(rule, t.line,
+             "std::random_device is nondeterministic; use the seeded "
+             "util::Rng plumbed through the experiment");
+      continue;
+    }
+    // Iterator loops: <unordered var>.begin()/cbegin().
+    if ((t.text == "begin" || t.text == "cbegin") && i >= 2 &&
+        (is_punct(i - 1, ".") || is_punct(i - 1, "->")) &&
+        toks()[i - 2].kind == Token::kIdent &&
+        unordered.count(toks()[i - 2].text) != 0) {
+      report(rule, t.line,
+             "iteration over unordered container '" + toks()[i - 2].text +
+                 "' — bucket order is not deterministic across runs");
+      continue;
+    }
+    // Range-for whose range expression names an unordered container.
+    if (t.text == "for" && is_punct(i + 1, "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks().size(); ++j) {
+        if (is_punct(j, "(")) {
+          ++depth;
+        } else if (is_punct(j, ")")) {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (depth == 1 && colon == 0 && is_punct(j, ":")) {
+          colon = j;
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks()[j].kind == Token::kIdent &&
+            unordered.count(toks()[j].text) != 0) {
+          report(rule, t.line,
+                 "range-for over unordered container '" + toks()[j].text +
+                     "' — bucket order is not deterministic across runs");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Checker::check_ordering() {
+  const std::string rule = "ordering";
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (!is_ident(i, "map") && !is_ident(i, "set") && !is_ident(i, "less")) {
+      continue;
+    }
+    // Require std:: qualification so domain types named `map` survive.
+    if (!(i >= 2 && is_punct(i - 1, "::") && is_ident(i - 2, "std"))) continue;
+    if (!is_punct(i + 1, "<")) continue;
+    bool pointer_key = false;
+    skip_template_args(i + 1, &pointer_key);
+    if (!pointer_key) continue;
+    const std::string& what = toks()[i].text;
+    report(rule, toks()[i].line,
+           "pointer-keyed std::" + what +
+               " — pointer order is allocation order and varies across "
+               "runs; key by a stable id instead");
+  }
+}
+
+void Checker::check_index_safety() {
+  for (const Config::GuardedIndex& guarded : config_.guarded_indexes) {
+    bool owner = false;
+    for (const std::string& o : guarded.owners) {
+      if (path_matches(path_, o)) owner = true;
+    }
+    if (owner) continue;
+    // Bracket stack: true entries are subscripts (the '[' follows a
+    // value), false entries are lambda captures / attributes.
+    std::vector<bool> subscript;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == Token::kPunct && t.text == "[") {
+        // `x[`, `f()[`, `a[0][` open subscripts; `[capture]` lambdas
+        // and `[[attributes]]` do not. `return [..]` is a lambda even
+        // though `return` lexes as an identifier.
+        const bool after_value =
+            i > 0 &&
+            ((toks()[i - 1].kind == Token::kIdent &&
+              toks()[i - 1].text != "return") ||
+             is_punct(i - 1, ")") || is_punct(i - 1, "]"));
+        subscript.push_back(after_value);
+        continue;
+      }
+      if (t.kind == Token::kPunct && t.text == "]") {
+        if (!subscript.empty()) subscript.pop_back();
+        continue;
+      }
+      if (t.kind != Token::kIdent || t.text != guarded.name) continue;
+      const bool subscripts_array = is_punct(i + 1, "[");
+      const bool used_as_index =
+          std::find(subscript.begin(), subscript.end(), true) !=
+          subscript.end();
+      if (subscripts_array || used_as_index) {
+        report("index-safety", t.line,
+               "raw [] use of back-pointer '" + guarded.name +
+                   "' outside its owning class — go through the checked "
+                   "accessor so the index invariant stays provable");
+      }
+    }
+  }
+}
+
+void Checker::check_engine_api() {
+  bool reschedules = false;
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (is_ident(i, "reschedule") && is_punct(i + 1, "(")) {
+      reschedules = true;
+      break;
+    }
+  }
+  if (!reschedules) return;
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (is_ident(i, "schedule") && is_punct(i + 1, "(")) {
+      report("engine-api", toks()[i].line,
+             "bare schedule() in a file that calls reschedule() — "
+             "persistent timers must be armed with schedule_tracked() "
+             "or reschedule() will CHECK-fail");
+    }
+  }
+}
+
+void Checker::check_hygiene() {
+  const std::string rule = "hygiene";
+  const auto ends_with = [this](std::string_view suffix) {
+    return path_.size() >= suffix.size() &&
+           path_.compare(path_.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+  };
+  const bool is_header = ends_with(".hpp") || ends_with(".h");
+  if (is_header) {
+    bool pragma_once = false;
+    for (const Token& t : toks()) {
+      if (t.kind != Token::kDirective) continue;
+      std::istringstream words(t.text);
+      std::string hash, pragma, once;
+      words >> hash >> pragma >> once;
+      // `#pragma once` or `# pragma once`.
+      if (hash == "#" && pragma == "pragma" && once == "once") {
+        pragma_once = true;
+      }
+      if (hash == "#pragma" && pragma == "once") pragma_once = true;
+    }
+    if (!pragma_once) {
+      report(rule, 1, "header is missing #pragma once");
+    }
+  }
+  // Namespace-scope `using namespace` in headers. The brace stack
+  // tracks whether every enclosing '{' belongs to a namespace: a
+  // directive inside a function body (all-false suffix) is local and
+  // fine, one visible at namespace scope leaks into every includer.
+  if (is_header) {
+    std::vector<bool> brace_is_namespace;
+    bool pending_namespace = false;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind == Token::kIdent && t.text == "using" &&
+          is_ident(i + 1, "namespace")) {
+        const bool at_namespace_scope =
+            std::find(brace_is_namespace.begin(), brace_is_namespace.end(),
+                      false) == brace_is_namespace.end();
+        if (at_namespace_scope) {
+          report(rule, t.line,
+                 "`using namespace` at namespace scope in a header leaks "
+                 "into every includer");
+        }
+        continue;
+      }
+      if (t.kind == Token::kIdent && t.text == "namespace" &&
+          !(i > 0 && is_ident(i - 1, "using"))) {
+        pending_namespace = true;
+        continue;
+      }
+      if (t.kind != Token::kPunct) continue;
+      if (t.text == "{") {
+        brace_is_namespace.push_back(pending_namespace);
+        pending_namespace = false;
+      } else if (t.text == "}") {
+        if (!brace_is_namespace.empty()) brace_is_namespace.pop_back();
+      } else if (t.text == ";") {
+        pending_namespace = false;
+      }
+    }
+  }
+  // Direct stdout writes outside the CLI/tool surfaces.
+  bool output_ok = false;
+  for (const std::string& allowed : config_.output_allowed) {
+    if (path_matches(path_, allowed)) output_ok = true;
+  }
+  if (!output_ok) {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      const Token& t = toks()[i];
+      if (t.kind != Token::kIdent) continue;
+      if (t.text == "cout") {
+        report(rule, t.line,
+               "std::cout in library code — route output through "
+               "util::log or return data to the caller");
+      } else if (t.text == "printf" && is_free_or_std_call(i)) {
+        report(rule, t.line,
+               "printf in library code — route output through util::log "
+               "or return data to the caller");
+      }
+    }
+  }
+}
+
+void Checker::run() {
+  bool simulated = false;
+  for (const std::string& dir : config_.simulated_dirs) {
+    if (path_matches(path_, dir)) simulated = true;
+  }
+  if (simulated) {
+    check_determinism();
+    check_ordering();
+  }
+  check_index_safety();
+  bool engine_api = false;
+  for (const std::string& dir : config_.engine_api_dirs) {
+    if (path_matches(path_, dir)) engine_api = true;
+  }
+  for (const std::string& exempt : config_.engine_api_exempt) {
+    if (path_matches(path_, exempt)) engine_api = false;
+  }
+  if (engine_api) check_engine_api();
+  check_hygiene();
+}
+
+}  // namespace
+
+bool path_matches(std::string_view path, std::string_view pattern) {
+  if (pattern.empty()) return false;
+  if (pattern.back() == '/') {
+    return path.size() > pattern.size() &&
+           path.compare(0, pattern.size(), pattern) == 0;
+  }
+  return path == pattern;
+}
+
+Config default_config() {
+  Config config;
+  config.simulated_dirs = {"src/sim/", "src/os/", "src/hw/", "src/virt/",
+                           "src/workload/"};
+  config.output_allowed = {"bench/", "examples/", "tools/",
+                           "src/util/log.cpp"};
+  config.guarded_indexes = {
+      {"rq_index", {"src/os/runqueue.cpp", "src/os/task.hpp"}},
+      {"park_index", {"src/os/cgroup.cpp", "src/os/task.hpp"}},
+      {"slot_of_", {"src/sim/engine.hpp", "src/sim/engine.cpp"}},
+  };
+  config.engine_api_dirs = {"src/"};
+  config.engine_api_exempt = {"src/sim/engine.hpp", "src/sim/engine.cpp"};
+  return config;
+}
+
+void analyze_file(const Config& config, std::string_view path,
+                  std::string_view contents, std::vector<Diagnostic>* out) {
+  const LexResult lexed = lex(contents);
+  Checker(config, path, lexed, out).run();
+  // Report in (line, rule) order regardless of pass order so output is
+  // stable and tests can assert exact sequences.
+  std::stable_sort(out->begin(), out->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+bool analyze_path(const Config& config, const std::string& root,
+                  const std::string& rel_path, std::vector<Diagnostic>* out) {
+  const std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+  analyze_file(config, rel_path, contents, out);
+  return true;
+}
+
+}  // namespace pinsim::lint

@@ -1,0 +1,95 @@
+// pinsim-lint: an in-tree determinism & index-safety analyzer.
+//
+// Every result in this reproduction rests on bit-identical replay: the
+// figure benches are byte-compared at fixed seeds across PRs, so a
+// single wall-clock read or an iteration over an unordered container
+// inside the simulated world silently invalidates every golden hash.
+// pinsim-lint turns those project invariants into machine-checkable
+// rules: a small lexer strips comments and string literals, then rule
+// passes walk the token stream and report (rule, file, line)
+// diagnostics. No external dependencies — the analyzer builds with the
+// same toolchain as the simulator and runs as a tier-1 ctest.
+//
+// Rule groups (each suppressible with `// pinsim-lint: allow(<rule>)`
+// on the offending line, or on a whole-line comment directly above it):
+//
+//   determinism   wall clocks, time()/rand()/getenv()/random_device,
+//                 and iteration over std::unordered_{map,set}, inside
+//                 the directories that feed simulated behaviour.
+//   ordering      pointer-keyed std::map/std::set and std::less<T*>
+//                 in those same directories (pointer order is
+//                 allocation order — nondeterministic across runs).
+//   index-safety  raw subscript use of the known back-pointer fields
+//                 (rq_index, park_index, the engine's slot_of_ array)
+//                 outside the files that own the invariant.
+//   engine-api    bare Engine::schedule() in a file that also calls
+//                 reschedule() — persistent timers must be armed with
+//                 schedule_tracked() or reschedule() will CHECK-fail.
+//   hygiene       #pragma once in every header, no `using namespace`
+//                 at namespace scope in headers, no std::cout/printf
+//                 outside bench/, examples/, tools/ and the log sink.
+//
+// Which rules apply to a file is decided from its repo-relative path by
+// a Config (see default_config()), so the policy lives in one place and
+// tests can run fixture files "as if" they sat in src/os.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinsim::lint {
+
+/// One finding. `rule` is the group name used in allow() suppressions;
+/// `line` is 1-based in the analyzed file.
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Per-directory rule policy, keyed on repo-relative paths (forward
+/// slashes, no leading "./"). Prefix entries ending in '/' match whole
+/// directories; other entries match exact files.
+struct Config {
+  /// Directories whose code feeds simulated behaviour: determinism and
+  /// ordering rules apply here.
+  std::vector<std::string> simulated_dirs;
+
+  /// Paths where std::cout/printf are legitimate (CLIs, the log sink).
+  std::vector<std::string> output_allowed;
+
+  /// A back-pointer index with the files that own its invariant. Use of
+  /// the name in a subscript anywhere else is an index-safety finding.
+  struct GuardedIndex {
+    std::string name;
+    std::vector<std::string> owners;
+  };
+  std::vector<GuardedIndex> guarded_indexes;
+
+  /// Paths exempt from the engine-api rule (the engine itself, which
+  /// defines schedule()/reschedule(), and tests that exercise both).
+  std::vector<std::string> engine_api_exempt;
+
+  /// Directory prefixes the engine-api rule applies to.
+  std::vector<std::string> engine_api_dirs;
+};
+
+/// The policy shipped with the repo (matches the layout under src/).
+Config default_config();
+
+/// True when `path` matches `pattern` under Config's prefix rules.
+bool path_matches(std::string_view path, std::string_view pattern);
+
+/// Analyze one file's contents as if it lived at `path` (repo-relative;
+/// decides rule applicability). Appends findings to `out`.
+void analyze_file(const Config& config, std::string_view path,
+                  std::string_view contents, std::vector<Diagnostic>* out);
+
+/// Analyze a file on disk (path used both for IO and rule policy after
+/// stripping `root/`). Returns false when the file cannot be read.
+bool analyze_path(const Config& config, const std::string& root,
+                  const std::string& rel_path, std::vector<Diagnostic>* out);
+
+}  // namespace pinsim::lint

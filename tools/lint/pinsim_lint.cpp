@@ -1,0 +1,123 @@
+// pinsim_lint CLI: walk the repo, run every rule pass, print findings.
+//
+//   pinsim_lint [--root DIR] [path...]
+//
+// Paths are repo-relative files or directories (default: src tests
+// bench examples tools). Directories are walked recursively for
+// .cpp/.hpp/.h files; the lint's own fixture corpus (any directory
+// named `fixtures`) and build trees are skipped. Exit status: 0 clean,
+// 1 findings, 2 usage or IO error — same convention as the benches.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "fixtures" || name.rfind("build", 0) == 0 ||
+         name.rfind(".", 0) == 0;
+}
+
+/// Collect repo-relative source paths under `rel` (file or directory).
+bool collect(const fs::path& root, const std::string& rel,
+             std::vector<std::string>* out) {
+  const fs::path full = root / rel;
+  std::error_code ec;
+  if (fs::is_regular_file(full, ec)) {
+    out->push_back(rel);
+    return true;
+  }
+  if (!fs::is_directory(full, ec)) {
+    std::cerr << "pinsim_lint: no such file or directory: " << full.string()
+              << "\n";
+    return false;
+  }
+  fs::recursive_directory_iterator it(full, ec), end;
+  if (ec) {
+    std::cerr << "pinsim_lint: cannot walk " << full.string() << ": "
+              << ec.message() << "\n";
+    return false;
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) return false;
+    if (it->is_directory() && skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && source_file(it->path())) {
+      out->push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  return true;
+}
+
+int usage(int code) {
+  std::cout << "usage: pinsim_lint [--root DIR] [path...]\n"
+               "  Checks pinsim's determinism / ordering / index-safety /\n"
+               "  engine-api / hygiene invariants. Paths are repo-relative\n"
+               "  (default: src tests bench examples tools). Suppress a\n"
+               "  finding with  // pinsim-lint: allow(<rule>)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--root") {
+      if (i + 1 >= argc) return usage(2);
+      root = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pinsim_lint: unknown option " << arg << "\n";
+      return usage(2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    for (const char* dir : {"src", "tests", "bench", "examples", "tools"}) {
+      std::error_code ec;
+      if (fs::is_directory(fs::path(root) / dir, ec)) paths.push_back(dir);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (!collect(root, p, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const pinsim::lint::Config config = pinsim::lint::default_config();
+  std::vector<pinsim::lint::Diagnostic> diags;
+  for (const std::string& file : files) {
+    if (!pinsim::lint::analyze_path(config, root, file, &diags)) {
+      std::cerr << "pinsim_lint: cannot read " << file << "\n";
+      return 2;
+    }
+  }
+  for (const auto& d : diags) {
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  std::cout << "pinsim_lint: " << files.size() << " files, " << diags.size()
+            << " finding" << (diags.size() == 1 ? "" : "s") << "\n";
+  return diags.empty() ? 0 : 1;
+}
