@@ -8,6 +8,10 @@
 // Common CLI (parse with bench::parse_cli):
 //   --jobs N    fan the sweep across N worker threads (default: 1, or
 //               PINSIM_JOBS). Results are bit-identical to --jobs 1.
+//   --shards N  event shards per repetition (default: 1, or PINSIM_SHARDS).
+//               --shards 1 is byte-identical to the historical output;
+//               N > 1 is deterministic but window-rounded (see
+//               core::ExperimentConfig::shards)
 //   --reps N    override the paper's repetition count (same as PINSIM_REPS)
 //   --json P    also write machine-readable results + timing to file P
 //   --stats     print aggregated sim::Engine counters (events fired,
@@ -34,6 +38,7 @@ namespace pinsim::bench {
 
 struct BenchOptions {
   int jobs = 1;
+  int shards = 1;  // event shards per repetition (PINSIM_SHARDS)
   int reps_override = 0;  // 0 = keep the paper protocol / PINSIM_REPS
   std::string json_path;  // empty = no JSON output
   bool engine_stats = false;  // print aggregated engine counters at exit
@@ -52,6 +57,7 @@ inline int env_int_or(const char* name, int fallback) {
 inline BenchOptions parse_cli(int argc, char** argv) {
   BenchOptions options;
   options.jobs = env_int_or("PINSIM_JOBS", 1);
+  options.shards = env_int_or("PINSIM_SHARDS", 1);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* flag) -> const char* {
@@ -63,6 +69,8 @@ inline BenchOptions parse_cli(int argc, char** argv) {
     };
     if (arg == "--jobs" || arg == "-j") {
       options.jobs = std::atoi(value("--jobs"));
+    } else if (arg == "--shards") {
+      options.shards = std::atoi(value("--shards"));
     } else if (arg == "--reps") {
       options.reps_override = std::atoi(value("--reps"));
     } else if (arg == "--json") {
@@ -71,7 +79,8 @@ inline BenchOptions parse_cli(int argc, char** argv) {
       options.engine_stats = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--jobs N] [--reps N] [--json PATH] [--stats]\n";
+                << " [--jobs N] [--shards N] [--reps N] [--json PATH] "
+                   "[--stats]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -80,6 +89,10 @@ inline BenchOptions parse_cli(int argc, char** argv) {
   }
   if (options.jobs < 1) {
     std::cerr << "--jobs must be >= 1\n";
+    std::exit(2);
+  }
+  if (options.shards < 1) {
+    std::cerr << "--shards must be >= 1\n";
     std::exit(2);
   }
   if (options.reps_override < 0) {
@@ -105,6 +118,13 @@ inline core::ExperimentRunner make_runner(int paper_reps,
   if (options.jobs > 1) {
     std::cout << "[note] sweeping with " << options.jobs
               << " worker threads (results identical to --jobs 1)\n";
+  }
+  config.shards = options.shards;
+  if (options.shards > 1) {
+    std::cout << "[note] --shards " << options.shards
+              << ": repetitions run under the sharded round loop "
+                 "(deterministic; wall-clock metrics round to window "
+                 "boundaries — see ExperimentConfig::shards)\n";
   }
   return core::ExperimentRunner(config);
 }
@@ -145,6 +165,7 @@ inline void maybe_write_json(const BenchOptions& options,
   meta.artifact = artifact;
   meta.repetitions = repetitions;
   meta.jobs = options.jobs;
+  meta.shards = options.shards;
   meta.wall_seconds = wall_seconds;
   core::write_bench_json(out, meta, figures);
   std::cout << "json written to " << options.json_path << "\n";

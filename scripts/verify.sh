@@ -12,14 +12,16 @@
 #    ids; the sanitizers catch any stale-index use the unit tests
 #    would miss). Skip with PINSIM_SKIP_SANITIZERS=1 for a quick pass.
 # 3. Build + run the parallel-harness tests under ThreadSanitizer
-#    (util::ThreadPool and ExperimentRunner::measure_all are the only
+#    (util::ThreadPool, ExperimentRunner::measure_all, and the
+#    barrier-synchronized sim::ShardedEngine round loop are the only
 #    concurrent code in the tree; TSan is the only tool that proves
-#    the sharded-sweep protocol race-free). Skipped together with the
-#    other sanitizers via PINSIM_SKIP_SANITIZERS=1.
-# 4. Build micro_engine + micro_sched in a Release tree so perf-relevant
-#    flags (-O2 -DNDEBUG) compile on every PR, and run both micro suites
-#    once, writing machine-readable timings to BENCH_engine_latest.json
-#    and BENCH_sched_latest.json (both gitignored; diff against the
+#    the sweep protocol and the shard workers race-free). Skipped
+#    together with the other sanitizers via PINSIM_SKIP_SANITIZERS=1.
+# 4. Build micro_engine + micro_sched + micro_shard in a Release tree so
+#    perf-relevant flags (-O2 -DNDEBUG) compile on every PR, and run the
+#    micro suites once, writing machine-readable timings to
+#    BENCH_engine_latest.json, BENCH_sched_latest.json, and
+#    BENCH_shard_latest.json (all gitignored; diff against the
 #    committed BENCH_*.json snapshots when touching hot paths).
 set -euo pipefail
 
@@ -34,7 +36,8 @@ if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== tier-1 under ASan+UBSan =="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  cmake --build build-asan --target pinsim_tests pinsim_examples -j
+  cmake --build build-asan --target pinsim_tests pinsim_examples \
+    pinsim_lint pinsim_lint_tests -j
   (cd build-asan && ctest --output-on-failure -j --timeout 300)
 
   echo "== parallel harness under TSan =="
@@ -42,12 +45,12 @@ if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build build-tsan --target pinsim_tests -j
   ./build-tsan/tests/pinsim_tests \
-    --gtest_filter='ThreadPoolTest.*:ExperimentParallelTest.*'
+    --gtest_filter='ThreadPoolTest.*:ExperimentParallelTest.*:ShardedEngine*.*:ShardedFleetTest.*'
 fi
 
 echo "== Release build of the micro-benchmarks =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release --target micro_engine micro_sched -j
+cmake --build build-release --target micro_engine micro_sched micro_shard -j
 
 echo "== engine micro smoke (BENCH_engine_latest.json) =="
 ./build-release/bench/micro_engine \
@@ -58,6 +61,11 @@ echo "== engine micro smoke (BENCH_engine_latest.json) =="
 echo "== scheduler micro smoke (BENCH_sched_latest.json) =="
 ./build-release/bench/micro_sched \
   --benchmark_out=BENCH_sched_latest.json \
+  --benchmark_out_format=json
+
+echo "== sharded-engine micro smoke (BENCH_shard_latest.json) =="
+./build-release/bench/micro_shard \
+  --benchmark_out=BENCH_shard_latest.json \
   --benchmark_out_format=json
 
 echo "verify: OK"

@@ -1,0 +1,143 @@
+#include "core/sharded_fleet.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "util/check.hpp"
+#include "virt/platform.hpp"
+
+namespace pinsim::core {
+
+ShardedFleet::ShardedFleet(ShardedFleetConfig config)
+    : config_(std::move(config)) {
+  PINSIM_CHECK_MSG(config_.hosts >= 1,
+                   "fleet needs >= 1 host (got " << config_.hosts << ")");
+  PINSIM_CHECK_MSG(config_.shards >= 1,
+                   "fleet needs >= 1 shard (got " << config_.shards << ")");
+  PINSIM_CHECK_MSG(config_.heartbeat_period > 0, "heartbeat period must be > 0");
+  shard_of_.reserve(static_cast<std::size_t>(config_.hosts));
+  for (int h = 0; h < config_.hosts; ++h) {
+    shard_of_.push_back(h % config_.shards);
+  }
+}
+
+int ShardedFleet::shard_of(int host) const {
+  PINSIM_CHECK_MSG(host >= 0 && host < config_.hosts,
+                   "host " << host << " out of range");
+  return shard_of_[static_cast<std::size_t>(host)];
+}
+
+ShardedFleetResult ShardedFleet::run(workload::Workload& workload) {
+  const int n = config_.hosts;
+  const SimDuration lookahead = config_.costs.min_cross_shard_latency();
+  PINSIM_CHECK_MSG(
+      config_.heartbeat_latency >= lookahead,
+      "heartbeat latency " << config_.heartbeat_latency
+                           << " below the cross-shard lookahead "
+                           << lookahead);
+
+  sim::ShardedEngine sharded(sim::ShardedEngineConfig{
+      config_.shards, lookahead, config_.threads});
+  sharded.seed_rngs(Rng(config_.base_seed));
+
+  // Build and deploy every host. Seeds follow the experiment runner's
+  // per-repetition spacing so host h here matches repetition h of a
+  // solo-engine run of the same spec.
+  std::vector<std::unique_ptr<virt::Host>> hosts;
+  std::vector<std::unique_ptr<virt::Platform>> platforms;
+  std::vector<std::unique_ptr<workload::Deployment>> deployments;
+  hosts.reserve(static_cast<std::size_t>(n));
+  platforms.reserve(static_cast<std::size_t>(n));
+  deployments.reserve(static_cast<std::size_t>(n));
+  for (int h = 0; h < n; ++h) {
+    const std::uint64_t seed =
+        config_.base_seed + 1000003ull * static_cast<std::uint64_t>(h);
+    hosts.push_back(std::make_unique<virt::Host>(
+        sharded, shard_of(h),
+        virt::host_topology_for(config_.spec, config_.full_host),
+        config_.costs, seed));
+    platforms.push_back(virt::make_platform(*hosts.back(), config_.spec));
+    auto deployment = workload.deploy(*platforms.back(),
+                                      Rng(seed ^ 0x517cc1b727220a95ull));
+    PINSIM_CHECK_MSG(deployment != nullptr,
+                     workload.name()
+                         << " does not support the split deploy/collect "
+                            "lifecycle needed for fleet co-simulation");
+    deployments.push_back(std::move(deployment));
+  }
+
+  // Heartbeat ring: host h pings host h+1 every heartbeat_period. The
+  // send side runs on h's shard (self-rescheduling event); the receive
+  // side crosses shards through the mailbox and increments one counter
+  // — element d of `delivered` is written only by host d's shard
+  // executor, element h of `sent` only by host h's, so the ring is
+  // lock-free and leaves every host's own simulation untouched.
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> delivered(static_cast<std::size_t>(n), 0);
+  std::vector<std::function<void()>> beats(static_cast<std::size_t>(n));
+  for (int h = 0; h < n; ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    beats[i] = [this, &sharded, &sent, &delivered, &beats, h, i] {
+      ++sent[i];
+      const int next = (h + 1) % config_.hosts;
+      std::int64_t* counter = &delivered[static_cast<std::size_t>(next)];
+      sharded.post(shard_of(h), shard_of(next), config_.heartbeat_latency,
+                   [counter] { ++*counter; });
+      sharded.shard(shard_of(h))
+          .schedule_detached(config_.heartbeat_period, [&beats, i] {
+            beats[i]();
+          });
+    };
+    sharded.shard(shard_of(h))
+        .schedule_detached(config_.heartbeat_period, [&beats, i] {
+          beats[i]();
+        });
+  }
+
+  // Drive everything together. The heartbeats never drain the heaps, so
+  // the run ends on the predicate (or trips the wedge check).
+  SimTime horizon = 0;
+  for (const auto& deployment : deployments) {
+    horizon = std::max(horizon, deployment->horizon());
+  }
+  const auto all_done = [&deployments] {
+    for (const auto& deployment : deployments) {
+      if (!deployment->completion().done()) return false;
+    }
+    return true;
+  };
+  const bool finished = sharded.run_until(all_done, horizon);
+  PINSIM_CHECK_MSG(finished, "sharded fleet (" << workload.name() << " x " << n
+                                               << ") did not finish");
+
+  ShardedFleetResult out;
+  out.hosts.reserve(static_cast<std::size_t>(n));
+  for (auto& deployment : deployments) {
+    const workload::Completion& completion = deployment->completion();
+    FleetHostResult host;
+    host.tasks_finished = completion.finished();
+    host.makespan_seconds = completion.response().max();
+    host.mean_response_seconds = completion.response().mean();
+    host.raw = deployment->collect();
+    out.hosts.push_back(std::move(host));
+  }
+  for (const std::int64_t s : sent) {
+    out.heartbeats_sent += s;
+  }
+  for (const std::int64_t d : delivered) {
+    out.heartbeats_delivered += d;
+  }
+  out.shard_stats = sharded.stats();
+  out.engine_stats = sharded.engine_stats();
+  out.events_fired = out.engine_stats.fired;
+  return out;
+}
+
+ShardedFleetResult run_sharded_fleet(const ShardedFleetConfig& config,
+                                     workload::Workload& workload) {
+  ShardedFleet fleet(config);
+  return fleet.run(workload);
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,105 @@
+// Fleet co-simulation on the sharded engine.
+//
+// One ShardedFleet run simulates K hosts — each a full virt::Host with
+// its own kernel, devices, platform, and workload deployment — inside a
+// single sim::ShardedEngine, host h on shard h % shards. The hosts are
+// coupled by a cross-host heartbeat ring (host h pings host h+1 every
+// heartbeat_period over the simulated network), so the shards genuinely
+// exchange mailbox traffic every window instead of free-running; the
+// heartbeat receive handler touches nothing but counters, which is what
+// keeps each host's simulation byte-identical whether its neighbours
+// share its shard or not.
+//
+// This is the cluster-scale scenario ROADMAP item 2 needs (fleets
+// serving the arXiv:2401.07539-style matrices) in miniature, and the
+// multi-shard workload the sharding benchmarks measure: per-host event
+// streams are independent except for the mailbox ring, so wall-clock
+// scales with shards wherever the host machine has cores to offer.
+//
+// Determinism contract (tests/sim/sharded_fleet_test.cpp):
+//  - fixed config + seed => identical FleetHostResults, for any
+//    `threads`, across repeated runs;
+//  - per-host makespan / response stats / task counts are identical
+//    across shard counts too (1, 2, K), because those are recorded at
+//    exact event instants. Only raw.wall_seconds is round-granular
+//    under shards > 1 (the engine stops at a window boundary, not at
+//    the final exit event) — compare makespan_seconds, not raw wall.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/topology.hpp"
+#include "sim/sharded_engine.hpp"
+#include "util/units.hpp"
+#include "virt/factory.hpp"
+#include "workload/workload.hpp"
+
+namespace pinsim::core {
+
+struct ShardedFleetConfig {
+  /// Machines in the fleet (>= 1), all running `spec`.
+  int hosts = 4;
+  /// Event shards; host h lives on shard h % shards. shards == 1 is
+  /// the serial baseline (single engine, no windows, no barriers).
+  int shards = 1;
+  /// Host threads for the round loop (ShardedEngineConfig::threads).
+  int threads = 1;
+  /// Platform each host runs (fig7's Vanilla CN cell by default).
+  virt::PlatformSpec spec;
+  hw::Topology full_host = hw::Topology::dell_r830();
+  hw::CostModel costs;
+  std::uint64_t base_seed = 42;
+  /// Cross-host heartbeat cadence and simulated network latency. The
+  /// latency must be >= the cost model's lookahead (checked) — it rides
+  /// the NIC, which is far slower than any intra-host mechanism.
+  SimDuration heartbeat_period = msec(5);
+  SimDuration heartbeat_latency = usec(200);
+};
+
+struct FleetHostResult {
+  /// Last task exit minus deploy instant — recorded at exact event
+  /// instants, so identical across shard and thread counts.
+  double makespan_seconds = 0.0;
+  double mean_response_seconds = 0.0;
+  std::int64_t tasks_finished = 0;
+  /// Deployment::collect() output. Under shards > 1 its wall_seconds
+  /// reads the round-boundary clock (see the determinism contract).
+  workload::RunResult raw;
+};
+
+struct ShardedFleetResult {
+  std::vector<FleetHostResult> hosts;
+  std::int64_t heartbeats_sent = 0;
+  std::int64_t heartbeats_delivered = 0;
+  std::int64_t events_fired = 0;
+  sim::ShardedEngineStats shard_stats;
+  sim::EngineStats engine_stats;
+};
+
+class ShardedFleet {
+ public:
+  explicit ShardedFleet(ShardedFleetConfig config);
+
+  const ShardedFleetConfig& config() const { return config_; }
+
+  /// Shard hosting host `h` (checked accessor for the shard_of_ map).
+  int shard_of(int host) const;
+
+  /// Build the fleet, deploy `workload` on every host (it must support
+  /// the split deploy/collect lifecycle), co-simulate to completion.
+  ShardedFleetResult run(workload::Workload& workload);
+
+ private:
+  ShardedFleetConfig config_;
+  /// host -> shard back-pointer map, fixed at construction.
+  std::vector<int> shard_of_;
+};
+
+/// Convenience one-shot wrapper.
+ShardedFleetResult run_sharded_fleet(const ShardedFleetConfig& config,
+                                     workload::Workload& workload);
+
+}  // namespace pinsim::core

@@ -1,5 +1,23 @@
 #include "hw/cost_model.hpp"
 
-// CostModel is a plain aggregate; this translation unit exists so the
-// module has a home for future non-inline helpers and to keep the build
-// graph uniform (one .cpp per header).
+#include <algorithm>
+
+namespace pinsim::hw {
+
+SimDuration CostModel::min_cross_shard_latency() const {
+  // The mechanisms a cross-shard event can ride, cheapest first under
+  // the default calibration: SMT-distance cache refill (2 us/MB floors
+  // every migration), guest IPC (4 us), host IPC (6 us), a vmexit
+  // (8 us), and the virtio IO round trip (30 us on top of the vmexit).
+  // The lookahead must lower-bound them all for every calibration the
+  // ablation benches sweep, so take the minimum rather than hard-coding
+  // today's cheapest.
+  SimDuration lookahead = refill_per_mb_smt;
+  lookahead = std::min(lookahead, guest_ipc);
+  lookahead = std::min(lookahead, host_ipc);
+  lookahead = std::min(lookahead, vmexit);
+  lookahead = std::min(lookahead, vmexit + virtio_io_overhead);
+  return std::max<SimDuration>(lookahead, 1);
+}
+
+}  // namespace pinsim::hw

@@ -161,6 +161,30 @@ class Engine {
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
 
+  /// Instant of the earliest pending heap entry, or kNoHorizon when the
+  /// queue is empty. For an entry whose deadline was deferred later (see
+  /// reschedule()) this reports the stale armed instant — a lower bound
+  /// on when the event can actually fire, which is exactly what the
+  /// sharded round loop needs for a conservative window.
+  SimTime peek_next() const {
+    return heap_.empty() ? kNoHorizon : when_of(heap_.front());
+  }
+
+  /// Jump the clock forward to `when` without firing anything. Only
+  /// legal when no pending event lies at or before `when` (checked) —
+  /// the sharded engine uses this to keep every shard's clock aligned
+  /// at a window boundary so cross-shard deliveries are never in a
+  /// receiver's past.
+  void advance_clock_to(SimTime when) {
+    PINSIM_CHECK_MSG(when >= now_, "clock moved backwards (" << when << " < "
+                                                             << now_ << ")");
+    PINSIM_CHECK_MSG(peek_next() > when,
+                     "advance_clock_to(" << when
+                                         << ") would skip a pending event at "
+                                         << peek_next());
+    now_ = when;
+  }
+
   /// Counter snapshot. `scheduled` and `peak_heap` are derived here
   /// rather than maintained per event: every reschedule() and every
   /// schedule consumes exactly one sequence number, so scheduled =

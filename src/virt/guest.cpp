@@ -19,6 +19,8 @@ GuestKernel::GuestKernel(Host& host, Config config)
   PINSIM_CHECK(config.burst_cap > 0);
 }
 
+int GuestKernel::shard() const { return host_->shard(); }
+
 void GuestKernel::attach_vcpu_task(int vcpu, os::Task& host_task) {
   auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
   PINSIM_CHECK(v.host_task == nullptr);

@@ -98,6 +98,9 @@ class GuestKernel {
 
   int vcpus() const { return static_cast<int>(vcpus_.size()); }
   int live_tasks() const { return live_tasks_; }
+  /// Event shard of the host machine this guest runs inside. A guest
+  /// never spans shards — all its vCPU tasks live on its host.
+  int shard() const;
   const GuestStats& stats() const { return stats_; }
   const std::vector<std::unique_ptr<os::Task>>& tasks() const {
     return tasks_;

@@ -1,5 +1,7 @@
 #include "virt/platform.hpp"
 
+#include "sim/sharded_engine.hpp"
+
 namespace pinsim::virt {
 
 const char* to_string(PlatformKind kind) {
@@ -33,9 +35,25 @@ std::string PlatformSpec::label() const {
 Host::Host(hw::Topology topology, hw::CostModel costs, std::uint64_t seed)
     : topology_(topology),
       costs_(costs),
+      owned_engine_(std::make_unique<sim::Engine>()),
+      engine_(owned_engine_.get()),
       rng_(seed),
-      kernel_(engine_, topology_, costs_, rng_.fork()),
-      disk_(hw::IoDevice::raid1_hdd(engine_, rng_.fork())),
-      nic_(hw::IoDevice::gigabit_nic(engine_, rng_.fork())) {}
+      kernel_(*engine_, topology_, costs_, rng_.fork()),
+      disk_(hw::IoDevice::raid1_hdd(*engine_, rng_.fork())),
+      nic_(hw::IoDevice::gigabit_nic(*engine_, rng_.fork())) {}
+
+Host::Host(sim::ShardedEngine& sharded, int shard, hw::Topology topology,
+           hw::CostModel costs, std::uint64_t seed)
+    : topology_(topology),
+      costs_(costs),
+      engine_(&sharded.shard(shard)),
+      sharded_(&sharded),
+      shard_(shard),
+      rng_(seed),
+      kernel_(*engine_, topology_, costs_, rng_.fork()),
+      disk_(hw::IoDevice::raid1_hdd(*engine_, rng_.fork())),
+      nic_(hw::IoDevice::gigabit_nic(*engine_, rng_.fork())) {
+  kernel_.bind_shard(shard);
+}
 
 }  // namespace pinsim::virt

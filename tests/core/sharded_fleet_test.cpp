@@ -1,0 +1,153 @@
+// ShardedFleet determinism: K hosts co-simulated under the conservative
+// round loop must produce per-host results that are bit-identical across
+// repeated runs, across worker-thread counts, and across shard counts —
+// per-host metrics are recorded at exact event instants, so only
+// raw.wall_seconds (round-granular by design) is excluded from the
+// cross-shard comparison.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sharded_fleet.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/topology.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "virt/factory.hpp"
+#include "virt/instance_type.hpp"
+#include "virt/platform.hpp"
+#include "workload/ffmpeg.hpp"
+
+namespace pinsim::core {
+namespace {
+
+/// A transcode small enough to keep K-host co-sim cheap in the tier-1
+/// suite but long enough to cross many heartbeat periods.
+workload::FfmpegConfig cheap_transcode() {
+  workload::FfmpegConfig config;
+  config.serial_seconds = 0.3;
+  config.parallel_seconds = 1.5;
+  config.startup_seconds = 0.1;
+  config.source_seconds = 5.0;
+  return config;
+}
+
+ShardedFleetConfig fleet_config(int hosts, int shards, int threads) {
+  ShardedFleetConfig config;
+  config.hosts = hosts;
+  config.shards = shards;
+  config.threads = threads;
+  config.spec = virt::PlatformSpec{virt::PlatformKind::Container,
+                                   virt::CpuMode::Vanilla,
+                                   virt::instance_by_name("xLarge")};
+  config.full_host = hw::Topology::small_host_16();
+  return config;
+}
+
+ShardedFleetResult run_fleet(int hosts, int shards, int threads) {
+  workload::Ffmpeg ffmpeg(cheap_transcode());
+  return run_sharded_fleet(fleet_config(hosts, shards, threads), ffmpeg);
+}
+
+/// Everything recorded at exact event instants — the cross-shard
+/// determinism currency (raw.wall_seconds is round-granular).
+void expect_hosts_equal(const ShardedFleetResult& a,
+                        const ShardedFleetResult& b) {
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t h = 0; h < a.hosts.size(); ++h) {
+    EXPECT_EQ(a.hosts[h].makespan_seconds, b.hosts[h].makespan_seconds)
+        << "host " << h;
+    EXPECT_EQ(a.hosts[h].mean_response_seconds,
+              b.hosts[h].mean_response_seconds)
+        << "host " << h;
+    EXPECT_EQ(a.hosts[h].tasks_finished, b.hosts[h].tasks_finished)
+        << "host " << h;
+    EXPECT_EQ(a.hosts[h].raw.metric_seconds, b.hosts[h].raw.metric_seconds)
+        << "host " << h;
+  }
+  EXPECT_EQ(a.heartbeats_sent, b.heartbeats_sent);
+  EXPECT_EQ(a.heartbeats_delivered, b.heartbeats_delivered);
+}
+
+TEST(ShardedFleetTest, ShardMapRoundRobins) {
+  const ShardedFleet fleet(fleet_config(5, 2, 1));
+  EXPECT_EQ(fleet.shard_of(0), 0);
+  EXPECT_EQ(fleet.shard_of(1), 1);
+  EXPECT_EQ(fleet.shard_of(2), 0);
+  EXPECT_EQ(fleet.shard_of(4), 0);
+}
+
+TEST(ShardedFleetTest, RunProducesWorkAndMailboxTraffic) {
+  const ShardedFleetResult result = run_fleet(4, 2, 1);
+  ASSERT_EQ(result.hosts.size(), 4u);
+  for (const FleetHostResult& host : result.hosts) {
+    EXPECT_GT(host.makespan_seconds, 0.0);
+    EXPECT_GT(host.tasks_finished, 0);
+  }
+  // The heartbeat ring crossed shards, so the round loop really ran.
+  EXPECT_GT(result.heartbeats_sent, 0);
+  EXPECT_GT(result.heartbeats_delivered, 0);
+  EXPECT_GT(result.shard_stats.rounds, 0);
+  EXPECT_GT(result.shard_stats.cross_posts, 0);
+  EXPECT_GT(result.events_fired, 0);
+}
+
+TEST(ShardedFleetTest, RepeatedRunsAreIdentical) {
+  const ShardedFleetResult first = run_fleet(4, 2, 1);
+  const ShardedFleetResult second = run_fleet(4, 2, 1);
+  expect_hosts_equal(first, second);
+  for (std::size_t h = 0; h < first.hosts.size(); ++h) {
+    // Same shard count: even the round-granular wall clock matches.
+    EXPECT_EQ(first.hosts[h].raw.wall_seconds,
+              second.hosts[h].raw.wall_seconds);
+  }
+  EXPECT_EQ(first.shard_stats.rounds, second.shard_stats.rounds);
+  EXPECT_EQ(first.shard_stats.cross_posts, second.shard_stats.cross_posts);
+}
+
+TEST(ShardedFleetTest, HostResultsIdenticalAcrossShardCounts) {
+  const ShardedFleetResult serial = run_fleet(4, 1, 1);
+  const ShardedFleetResult two = run_fleet(4, 2, 1);
+  const ShardedFleetResult four = run_fleet(4, 4, 1);
+  expect_hosts_equal(serial, two);
+  expect_hosts_equal(serial, four);
+}
+
+TEST(ShardedFleetTest, HostResultsIdenticalAcrossThreadCounts) {
+  const ShardedFleetResult threads1 = run_fleet(4, 4, 1);
+  const ShardedFleetResult threads2 = run_fleet(4, 4, 2);
+  const ShardedFleetResult threads4 = run_fleet(4, 4, 4);
+  const ShardedFleetResult threads0 = run_fleet(4, 4, 0);  // one per shard
+  expect_hosts_equal(threads1, threads2);
+  expect_hosts_equal(threads1, threads4);
+  expect_hosts_equal(threads1, threads0);
+  for (std::size_t h = 0; h < threads1.hosts.size(); ++h) {
+    // Same shard count: window sequence identical, so wall matches too.
+    EXPECT_EQ(threads1.hosts[h].raw.wall_seconds,
+              threads2.hosts[h].raw.wall_seconds);
+    EXPECT_EQ(threads1.hosts[h].raw.wall_seconds,
+              threads4.hosts[h].raw.wall_seconds);
+  }
+  EXPECT_EQ(threads1.shard_stats.rounds, threads4.shard_stats.rounds);
+}
+
+TEST(ShardedFleetTest, SingleHostSingleShardMatchesSoloRun) {
+  // hosts=1 shards=1 is a plain engine run plus a self-heartbeat; the
+  // workload's own metric must equal driving the solo stack directly.
+  const ShardedFleetResult fleet = run_fleet(1, 1, 1);
+  ASSERT_EQ(fleet.hosts.size(), 1u);
+
+  virt::Host host(virt::host_topology_for(fleet_config(1, 1, 1).spec,
+                                          hw::Topology::small_host_16()),
+                  hw::CostModel{}, 42);
+  auto platform = virt::make_platform(host, fleet_config(1, 1, 1).spec);
+  workload::Ffmpeg ffmpeg(cheap_transcode());
+  const workload::RunResult solo =
+      ffmpeg.run(*platform, Rng(42 ^ 0x517cc1b727220a95ull));
+
+  EXPECT_EQ(fleet.hosts[0].raw.metric_seconds, solo.metric_seconds);
+  EXPECT_EQ(fleet.hosts[0].tasks_finished > 0, true);
+}
+
+}  // namespace
+}  // namespace pinsim::core

@@ -1,0 +1,29 @@
+// Fixture: run_until predicates that read g_-prefixed mutable globals.
+// Analyzed as if at src/core/fixture_predicate_purity_bad.cpp.
+namespace fixture {
+
+int g_done_count = 0;
+bool g_abort = false;
+
+struct Engine {
+  template <typename P>
+  bool run_until(P&& p, long horizon) {
+    return p() || horizon > 0;
+  }
+};
+
+bool drive(Engine& engine) {
+  return engine.run_until([] { return g_done_count > 3; },  // expect: predicate-purity
+                          100);
+}
+
+bool drive_multi(Engine& engine) {
+  return engine.run_until(
+      [] {
+        if (g_abort) return true;     // expect: predicate-purity
+        return g_done_count >= 10;    // expect: predicate-purity
+      },
+      100);
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: run_until uses the predicate-purity rule must NOT flag.
+// Analyzed as if at src/core/fixture_predicate_purity_ok.cpp.
+namespace fixture {
+
+int g_done_count = 0;
+
+struct Engine {
+  template <typename P>
+  bool run_until(P&& p, long horizon) {
+    return p() || horizon > 0;
+  }
+};
+
+struct Completion {
+  int finished = 0;
+  bool done() const { return finished > 3; }
+};
+
+// Predicates over captured simulation state are the sanctioned shape.
+bool drive(Engine& engine, const Completion& completion) {
+  return engine.run_until([&completion] { return completion.done(); }, 100);
+}
+
+// Globals outside a run_until argument list are someone else's problem
+// (the determinism pass owns general global hygiene).
+int read_elsewhere() { return g_done_count; }
+
+// Annotated use is a deliberate, reviewed exception.
+bool drive_annotated(Engine& engine) {
+  return engine.run_until(
+      [] { return g_done_count > 3; },  // pinsim-lint: allow(predicate-purity)
+      100);
+}
+
+}  // namespace fixture

@@ -273,6 +273,7 @@ class Checker {
   void check_ordering();
   void check_index_safety();
   void check_engine_api();
+  void check_predicate_purity();
   void check_hygiene();
 
   const Config& config_;
@@ -489,6 +490,39 @@ void Checker::check_engine_api() {
   }
 }
 
+void Checker::check_predicate_purity() {
+  const std::string rule = "predicate-purity";
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (!is_ident(i, "run_until") || !is_punct(i + 1, "(")) continue;
+    // Scan the argument list (predicate lambda included) to the
+    // matching close paren. Any g_-prefixed identifier in there is a
+    // mutable file-scope global by project convention: the predicate
+    // is re-evaluated at shard-window boundaries, so a stop condition
+    // on shared mutable state makes where the run stops depend on
+    // host-thread interleaving.
+    int depth = 0;
+    for (std::size_t j = i + 1; j < toks().size(); ++j) {
+      if (is_punct(j, "(")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(j, ")")) {
+        if (--depth == 0) break;
+        continue;
+      }
+      const Token& t = toks()[j];
+      if (t.kind == Token::kIdent && t.text.size() > 2 &&
+          t.text.compare(0, 2, "g_") == 0) {
+        report(rule, t.line,
+               "run_until predicate references mutable global '" + t.text +
+                   "' — stop conditions are evaluated at shard-window "
+                   "boundaries and must be pure functions of simulation "
+                   "state; capture what the predicate needs explicitly");
+      }
+    }
+  }
+}
+
 void Checker::check_hygiene() {
   const std::string rule = "hygiene";
   const auto ends_with = [this](std::string_view suffix) {
@@ -591,6 +625,11 @@ void Checker::run() {
     if (path_matches(path_, exempt)) engine_api = false;
   }
   if (engine_api) check_engine_api();
+  bool predicate_purity = false;
+  for (const std::string& dir : config_.predicate_purity_dirs) {
+    if (path_matches(path_, dir)) predicate_purity = true;
+  }
+  if (predicate_purity) check_predicate_purity();
   check_hygiene();
 }
 
@@ -615,9 +654,14 @@ Config default_config() {
       {"rq_index", {"src/os/runqueue.cpp", "src/os/task.hpp"}},
       {"park_index", {"src/os/cgroup.cpp", "src/os/task.hpp"}},
       {"slot_of_", {"src/sim/engine.hpp", "src/sim/engine.cpp"}},
+      {"outbox_",
+       {"src/sim/sharded_engine.hpp", "src/sim/sharded_engine.cpp"}},
+      {"shard_of_",
+       {"src/core/sharded_fleet.hpp", "src/core/sharded_fleet.cpp"}},
   };
   config.engine_api_dirs = {"src/"};
   config.engine_api_exempt = {"src/sim/engine.hpp", "src/sim/engine.cpp"};
+  config.predicate_purity_dirs = {"src/", "bench/", "examples/"};
   return config;
 }
 

@@ -25,6 +25,11 @@
 //   engine-api    bare Engine::schedule() in a file that also calls
 //                 reschedule() — persistent timers must be armed with
 //                 schedule_tracked() or reschedule() will CHECK-fail.
+//   predicate-purity
+//                 run_until() predicates that read g_-prefixed mutable
+//                 globals — a stop condition on shared mutable state is
+//                 evaluated at window boundaries under the sharded
+//                 engine and must depend only on simulation state.
 //   hygiene       #pragma once in every header, no `using namespace`
 //                 at namespace scope in headers, no std::cout/printf
 //                 outside bench/, examples/, tools/ and the log sink.
@@ -74,6 +79,12 @@ struct Config {
 
   /// Directory prefixes the engine-api rule applies to.
   std::vector<std::string> engine_api_dirs;
+
+  /// Directory prefixes the predicate-purity rule applies to: inside a
+  /// run_until(...) call, identifiers with the g_ mutable-global prefix
+  /// are findings (the predicate must be a pure function of simulation
+  /// state, or sharded runs stop nondeterministically).
+  std::vector<std::string> predicate_purity_dirs;
 };
 
 /// The policy shipped with the repo (matches the layout under src/).

@@ -130,10 +130,29 @@ TEST(LintIndexSafety, FlagsRawSubscriptsOutsideOwners) {
 }
 
 TEST(LintIndexSafety, OwnerFileMayTouchItsOwnIndex) {
-  // As the rq_index owner, only the park_index and slot_of_ findings
-  // remain (their owners are cgroup.cpp and the engine respectively).
+  // As the rq_index owner, the park_index, slot_of_, outbox_, and
+  // shard_of_ findings remain (their owners are cgroup.cpp, the
+  // engine, the sharded engine, and the fleet respectively).
   expect_exactly("index_safety_bad.cpp", "src/os/runqueue.cpp",
-                 {{"index-safety", 23}, {"index-safety", 26}});
+                 {{"index-safety", 23},
+                  {"index-safety", 26},
+                  {"index-safety", 37},
+                  {"index-safety", 40}});
+}
+
+TEST(LintIndexSafety, ShardedOwnersMayTouchTheirOwnIndexes) {
+  // The sharded engine owns outbox_; shard_of_ still flags there (its
+  // owner is the fleet), and vice versa.
+  expect_exactly("index_safety_bad.cpp", "src/sim/sharded_engine.cpp",
+                 {{"index-safety", 20},
+                  {"index-safety", 23},
+                  {"index-safety", 26},
+                  {"index-safety", 40}});
+  expect_exactly("index_safety_bad.cpp", "src/core/sharded_fleet.cpp",
+                 {{"index-safety", 20},
+                  {"index-safety", 23},
+                  {"index-safety", 26},
+                  {"index-safety", 37}});
 }
 
 TEST(LintIndexSafety, SilentOnReadsLambdasAndAnnotated) {
@@ -161,6 +180,24 @@ TEST(LintEngineApi, DoesNotApplyOutsideSrc) {
 
 TEST(LintEngineApi, EngineItselfIsExempt) {
   expect_exactly("engine_api_bad.cpp", "src/sim/engine.cpp", {});
+}
+
+// --- predicate-purity -----------------------------------------------------
+
+TEST(LintPredicatePurity, FlagsMutableGlobalsInRunUntilPredicates) {
+  expect_markers("predicate_purity_bad.cpp",
+                 "src/core/fixture_predicate_purity_bad.cpp");
+}
+
+TEST(LintPredicatePurity, SilentOnCapturedStateAndAnnotated) {
+  expect_exactly("predicate_purity_ok.cpp",
+                 "src/core/fixture_predicate_purity_ok.cpp", {});
+}
+
+TEST(LintPredicatePurity, DoesNotApplyOutsideConfiguredDirs) {
+  // Test code may drive run_until off counters however it likes.
+  expect_exactly("predicate_purity_bad.cpp",
+                 "tests/sim/fixture_predicate_purity_bad.cpp", {});
 }
 
 // --- hygiene --------------------------------------------------------------
