@@ -17,12 +17,14 @@
 #    concurrent code in the tree; TSan is the only tool that proves
 #    the sweep protocol and the shard workers race-free). Skipped
 #    together with the other sanitizers via PINSIM_SKIP_SANITIZERS=1.
-# 4. Build micro_engine + micro_sched + micro_shard in a Release tree so
-#    perf-relevant flags (-O2 -DNDEBUG) compile on every PR, and run the
-#    micro suites once, writing machine-readable timings to
-#    BENCH_engine_latest.json, BENCH_sched_latest.json, and
-#    BENCH_shard_latest.json (all gitignored; diff against the
-#    committed BENCH_*.json snapshots when touching hot paths).
+# 4. Build micro_engine + micro_sched + micro_shard + micro_cluster in a
+#    Release tree so perf-relevant flags (-O2 -DNDEBUG) compile on every
+#    PR, and run the micro suites once, writing machine-readable timings
+#    to BENCH_engine_latest.json, BENCH_sched_latest.json,
+#    BENCH_shard_latest.json, BENCH_timer_latest.json (the timer-path
+#    subset tracked by BENCH_timer.json), and BENCH_cluster_latest.json
+#    (all gitignored; diff against the committed BENCH_*.json snapshots
+#    when touching hot paths).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,12 +47,13 @@ if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
   cmake --build build-tsan --target pinsim_tests -j
   ./build-tsan/tests/pinsim_tests \
-    --gtest_filter='ThreadPoolTest.*:ExperimentParallelTest.*:ShardedEngine*.*:ShardedFleetTest.*'
+    --gtest_filter='ThreadPoolTest.*:ExperimentParallelTest.*:ShardedEngine*.*:ShardedFleetTest.*:ClusterFleetTest.*'
 fi
 
 echo "== Release build of the micro-benchmarks =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release --target micro_engine micro_sched micro_shard -j
+cmake --build build-release --target micro_engine micro_sched micro_shard \
+  micro_cluster -j
 
 echo "== engine micro smoke (BENCH_engine_latest.json) =="
 ./build-release/bench/micro_engine \
@@ -66,6 +69,17 @@ echo "== scheduler micro smoke (BENCH_sched_latest.json) =="
 echo "== sharded-engine micro smoke (BENCH_shard_latest.json) =="
 ./build-release/bench/micro_shard \
   --benchmark_out=BENCH_shard_latest.json \
+  --benchmark_out_format=json
+
+echo "== timer-path micro smoke (BENCH_timer_latest.json) =="
+./build-release/bench/micro_engine \
+  --benchmark_filter='BM_BoundaryChurn|BM_EngineReschedule' \
+  --benchmark_out=BENCH_timer_latest.json \
+  --benchmark_out_format=json
+
+echo "== cluster micro smoke (BENCH_cluster_latest.json) =="
+./build-release/bench/micro_cluster \
+  --benchmark_out=BENCH_cluster_latest.json \
   --benchmark_out_format=json
 
 echo "verify: OK"

@@ -1,0 +1,81 @@
+#include "cluster/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pinsim::cluster {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::Poisson:
+      return "poisson";
+    case ArrivalKind::Burst:
+      return "burst";
+    case ArrivalKind::Diurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+Arrivals::Arrivals(ArrivalConfig config, Rng rng) : config_(config), rng_(rng) {
+  PINSIM_CHECK(config_.rate_per_second > 0.0);
+  PINSIM_CHECK(config_.burst_multiplier >= 1.0);
+  PINSIM_CHECK(config_.burst_seconds > 0.0);
+  PINSIM_CHECK(config_.quiet_seconds > 0.0);
+  PINSIM_CHECK(config_.diurnal_amplitude >= 0.0 &&
+               config_.diurnal_amplitude < 1.0);
+  PINSIM_CHECK(config_.diurnal_period_seconds > 0.0);
+}
+
+double Arrivals::rate_at(double t_seconds) const {
+  switch (config_.kind) {
+    case ArrivalKind::Poisson:
+      return config_.rate_per_second;
+    case ArrivalKind::Burst: {
+      const double cycle = config_.burst_seconds + config_.quiet_seconds;
+      const double phase = std::fmod(t_seconds, cycle);
+      return phase < config_.burst_seconds
+                 ? config_.rate_per_second * config_.burst_multiplier
+                 : config_.rate_per_second;
+    }
+    case ArrivalKind::Diurnal:
+      return config_.rate_per_second *
+             (1.0 - config_.diurnal_amplitude *
+                        std::cos(kTwoPi * t_seconds /
+                                 config_.diurnal_period_seconds));
+  }
+  return config_.rate_per_second;
+}
+
+double Arrivals::peak_rate() const {
+  switch (config_.kind) {
+    case ArrivalKind::Poisson:
+      return config_.rate_per_second;
+    case ArrivalKind::Burst:
+      return config_.rate_per_second * config_.burst_multiplier;
+    case ArrivalKind::Diurnal:
+      return config_.rate_per_second * (1.0 + config_.diurnal_amplitude);
+  }
+  return config_.rate_per_second;
+}
+
+SimTime Arrivals::next() {
+  // Lewis-Shedler thinning: draw candidate gaps from the homogeneous
+  // process at the peak rate and keep a candidate at t with probability
+  // rate(t) / peak. For the Poisson profile the test always passes, so
+  // the homogeneous case pays no extra draws beyond the uniform.
+  const double peak = peak_rate();
+  for (;;) {
+    t_seconds_ += rng_.exponential(1.0 / peak);
+    if (rng_.next_double() * peak <= rate_at(t_seconds_)) {
+      return sec_f(t_seconds_);
+    }
+  }
+}
+
+}  // namespace pinsim::cluster

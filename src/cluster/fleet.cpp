@@ -1,0 +1,317 @@
+#include "cluster/fleet.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "core/chr_advisor.hpp"
+#include "core/sharded_fleet.hpp"
+#include "util/check.hpp"
+#include "virt/platform.hpp"
+#include "workload/request_source.hpp"
+
+namespace pinsim::cluster {
+
+namespace {
+
+std::unique_ptr<workload::RequestSource> make_source(const FleetConfig& config,
+                                                     virt::Platform& platform,
+                                                     Rng rng) {
+  if (config.app == workload::AppClass::IoWeb) {
+    return workload::make_wordpress_source(platform, config.wordpress, rng);
+  }
+  return workload::make_cassandra_source(platform, config.cassandra, rng);
+}
+
+}  // namespace
+
+const char* to_string(PinningPolicy policy) {
+  switch (policy) {
+    case PinningPolicy::AsConfigured:
+      return "as-configured";
+    case PinningPolicy::ChrAdvisor:
+      return "chr-advisor";
+  }
+  return "?";
+}
+
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  PINSIM_CHECK_MSG(config_.hosts >= 1,
+                   "fleet needs >= 1 host (got " << config_.hosts << ")");
+  PINSIM_CHECK_MSG(config_.shards >= 1,
+                   "fleet needs >= 1 shard (got " << config_.shards << ")");
+  PINSIM_CHECK_MSG(config_.threads >= 1,
+                   "fleet needs >= 1 thread (got " << config_.threads << ")");
+  PINSIM_CHECK_MSG(config_.traffic_seconds > 0.0,
+                   "traffic window must be positive");
+  PINSIM_CHECK_MSG(config_.drain_seconds > 0.0, "drain window must be positive");
+  PINSIM_CHECK_MSG(config_.app == workload::AppClass::IoWeb ||
+                       config_.app == workload::AppClass::IoNoSql,
+                   "the serving layer models the paper's request-serving "
+                   "applications (IoWeb -> WordPress, IoNoSql -> Cassandra)");
+  PINSIM_CHECK_MSG(
+      config_.initial_instances >= 0 &&
+          config_.initial_instances <= config_.hosts,
+      "initial_instances " << config_.initial_instances << " out of range");
+  PINSIM_CHECK_MSG(config_.autoscaler.min_instances <= config_.hosts,
+                   "autoscaler floor exceeds the fleet size");
+  config_.autoscaler.max_instances =
+      std::min(config_.autoscaler.max_instances, config_.hosts);
+  host_shard_.reserve(static_cast<std::size_t>(config_.hosts));
+  for (int h = 0; h < config_.hosts; ++h) {
+    host_shard_.push_back(h % config_.shards);
+  }
+}
+
+int Fleet::shard_of(int host) const {
+  PINSIM_CHECK_MSG(host >= 0 && host < config_.hosts,
+                   "host " << host << " out of range");
+  return host_shard_[static_cast<std::size_t>(host)];
+}
+
+std::vector<virt::PlatformSpec> Fleet::resolved_specs() const {
+  std::vector<virt::PlatformSpec> out;
+  out.reserve(static_cast<std::size_t>(config_.hosts));
+  std::optional<virt::InstanceType> advised;
+  if (config_.pinning == PinningPolicy::ChrAdvisor) {
+    advised = core::recommend_instance(config_.app, config_.full_host);
+    if (!advised) {
+      advised = virt::largest_instance_within(config_.full_host.num_cpus());
+    }
+  }
+  for (int h = 0; h < config_.hosts; ++h) {
+    virt::PlatformSpec spec =
+        config_.host_specs.empty()
+            ? config_.spec
+            : config_.host_specs[static_cast<std::size_t>(h) %
+                                 config_.host_specs.size()];
+    if (advised) {
+      spec.instance = *advised;
+      spec.mode = virt::CpuMode::Pinned;
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+int Fleet::initial_active() const {
+  if (config_.initial_instances > 0) return config_.initial_instances;
+  if (config_.autoscale) {
+    return std::min(config_.autoscaler.min_instances, config_.hosts);
+  }
+  return config_.hosts;
+}
+
+ClusterResult Fleet::run() {
+  const int n = config_.hosts;
+  const SimDuration lookahead = config_.costs.min_cross_shard_latency();
+  PINSIM_CHECK_MSG(config_.dispatch_latency >= lookahead,
+                   "dispatch latency " << config_.dispatch_latency
+                                       << " below the cross-shard lookahead "
+                                       << lookahead);
+
+  sim::ShardedEngine sharded(
+      sim::ShardedEngineConfig{config_.shards, lookahead, config_.threads});
+  sharded.seed_rngs(Rng(config_.base_seed));
+
+  // Hosts + serving sources, built through the shared fleet builder so
+  // seeds and construction interleaving match ShardedFleet.
+  const std::vector<virt::PlatformSpec> specs = resolved_specs();
+  std::vector<std::unique_ptr<workload::RequestSource>> sources;
+  sources.reserve(static_cast<std::size_t>(n));
+  const core::FleetHosts built = core::build_fleet_hosts(
+      sharded, host_shard_, specs, config_.full_host, config_.costs,
+      config_.base_seed, [this, &sources](int, virt::Platform& platform, Rng rng) {
+        sources.push_back(make_source(config_, platform, rng));
+      });
+
+  // Front-end state. Everything below is touched only from shard-0
+  // events, so it needs no locks and behaves identically for every
+  // thread and shard count.
+  LoadBalancer balancer(config_.balancer, n);
+  const core::ChrRange band = core::paper_chr_range(config_.app);
+  std::vector<double> chr(static_cast<std::size_t>(n), 0.0);
+  for (int h = 0; h < n; ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    chr[i] = core::chr_of(specs[i].instance, config_.full_host);
+    balancer.set_chr_in_range(h, band.contains(chr[i]));
+  }
+  const int initial = initial_active();
+  for (int h = 0; h < n; ++h) balancer.set_active(h, h < initial);
+
+  ClusterResult out;
+  out.peak_active = balancer.active_count();
+  std::vector<std::int64_t> dispatched_per_host(static_cast<std::size_t>(n),
+                                                0);
+  Autoscaler autoscaler(config_.autoscaler);
+  std::vector<char> provisioning(static_cast<std::size_t>(n), 0);
+  int provisioning_count = 0;
+
+  sim::Engine& front = sharded.shard(0);
+  const SimTime traffic_end = sec_f(config_.traffic_seconds);
+  const SimTime horizon =
+      sec_f(config_.traffic_seconds + config_.drain_seconds);
+
+  auto dispatch = [&](SimTime now) {
+    const int host = balancer.pick();
+    PINSIM_CHECK_MSG(host >= 0, "cluster front end found no active instance");
+    const int id = static_cast<int>(out.trace.size());
+    out.trace.push_back(RequestRecord{now, host, -1});
+    ++out.dispatched;
+    ++dispatched_per_host[static_cast<std::size_t>(host)];
+    balancer.add_outstanding(host, +1);
+
+    workload::RequestSource* source =
+        sources[static_cast<std::size_t>(host)].get();
+    sim::ShardedEngine* net = &sharded;
+    sim::Engine* front_engine = &front;
+    ClusterResult* result = &out;
+    LoadBalancer* lb = &balancer;
+    const int shard = shard_of(host);
+    const SimDuration leg = config_.dispatch_latency;
+    net->post(
+        0, shard, leg,
+        [net, front_engine, result, lb, source, shard, leg, id, host] {
+          source->inject([net, front_engine, result, lb, shard, leg, id,
+                          host] {
+            net->post(shard, 0, leg, [front_engine, result, lb, id, host] {
+              RequestRecord& record =
+                  result->trace[static_cast<std::size_t>(id)];
+              record.latency = front_engine->now() - record.arrival;
+              lb->add_outstanding(host, -1);
+              ++result->completed;
+            });
+          });
+        });
+  };
+
+  // Open-loop arrival pump: a self-rescheduling shard-0 event chain.
+  Arrivals arrivals(config_.arrivals,
+                    Rng(config_.base_seed ^ 0x94d049bb133111ebull));
+  bool generating = false;
+  std::function<void()> pump = [&] {
+    dispatch(front.now());
+    const SimTime next = arrivals.next();
+    if (next < traffic_end) {
+      front.schedule_detached(next - front.now(), [&] { pump(); });
+    } else {
+      generating = false;
+    }
+  };
+  {
+    const SimTime first = arrivals.next();
+    if (first < traffic_end) {
+      generating = true;
+      front.schedule_detached(first, [&] { pump(); });
+    }
+  }
+
+  // Watermark autoscaling: periodic shard-0 control ticks; scale-ups
+  // pay the provisioning delay before the balancer may route to them,
+  // scale-downs drain (in-flight requests still complete).
+  auto activate_later = [&](int host) {
+    provisioning[static_cast<std::size_t>(host)] = 1;
+    ++provisioning_count;
+    ++out.scale_ups;
+    front.schedule_detached(config_.autoscaler.provisioning_delay,
+                            [&, host] {
+                              provisioning[static_cast<std::size_t>(host)] = 0;
+                              --provisioning_count;
+                              balancer.set_active(host, true);
+                              out.peak_active = std::max(
+                                  out.peak_active, balancer.active_count());
+                            });
+  };
+  auto scale_up = [&](int count) {
+    for (int k = 0; k < count; ++k) {
+      int pick = -1;
+      // Prefer instances whose CHR sits in the recommended band.
+      for (int pass = 0; pass < 2 && pick < 0; ++pass) {
+        for (int h = 0; h < n; ++h) {
+          if (balancer.active(h) ||
+              provisioning[static_cast<std::size_t>(h)] != 0) {
+            continue;
+          }
+          if (pass == 0 && !balancer.chr_in_range(h)) continue;
+          pick = h;
+          break;
+        }
+      }
+      if (pick < 0) return;
+      activate_later(pick);
+    }
+  };
+  auto scale_down = [&](int count) {
+    for (int k = 0; k < count; ++k) {
+      if (balancer.active_count() <= 1) return;  // keep one instance routable
+      int pick = -1;
+      // Least-loaded active instance, ties to the highest index.
+      for (int h = 0; h < n; ++h) {
+        if (!balancer.active(h)) continue;
+        if (pick < 0 ||
+            balancer.outstanding(h) <= balancer.outstanding(pick)) {
+          pick = h;
+        }
+      }
+      balancer.set_active(pick, false);
+      ++out.scale_downs;
+    }
+  };
+  std::function<void()> tick;
+  if (config_.autoscale) {
+    tick = [&] {
+      const int delta =
+          autoscaler.evaluate(front.now(), balancer.active_count(),
+                              provisioning_count, balancer.total_outstanding());
+      if (delta > 0) scale_up(delta);
+      if (delta < 0) scale_down(-delta);
+      if (front.now() + config_.autoscaler.evaluation_period <= horizon) {
+        front.schedule_detached(config_.autoscaler.evaluation_period,
+                                [&] { tick(); });
+      }
+    };
+    front.schedule_detached(config_.autoscaler.evaluation_period,
+                            [&] { tick(); });
+  }
+
+  const auto drained = [&generating, &out] {
+    return !generating && out.completed == out.dispatched;
+  };
+  const bool finished = sharded.run_until(drained, horizon);
+  PINSIM_CHECK_MSG(finished, "cluster fleet (" << n << " hosts) did not drain "
+                                               << "by the horizon");
+
+  // Fold the SLO summary from the trace in request-id order — never in
+  // completion order, which may tie-break differently across shard
+  // counts.
+  SloTracker tracker(config_.slo);
+  for (const RequestRecord& record : out.trace) {
+    PINSIM_CHECK(record.latency >= 0);
+    tracker.record(to_seconds(record.latency));
+  }
+  out.slo = tracker.summary();
+
+  out.hosts.reserve(static_cast<std::size_t>(n));
+  for (int h = 0; h < n; ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    FleetHostReport report;
+    report.spec = specs[i];
+    report.chr = chr[i];
+    report.chr_in_range = balancer.chr_in_range(h);
+    report.dispatched = dispatched_per_host[i];
+    report.served = sources[i]->served();
+    out.hosts.push_back(std::move(report));
+  }
+  out.final_active = balancer.active_count();
+  out.shard_stats = sharded.stats();
+  out.engine_stats = sharded.engine_stats();
+  return out;
+}
+
+ClusterResult run_cluster(const FleetConfig& config) {
+  Fleet fleet(config);
+  return fleet.run();
+}
+
+}  // namespace pinsim::cluster

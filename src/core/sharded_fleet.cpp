@@ -9,6 +9,34 @@
 
 namespace pinsim::core {
 
+FleetHosts build_fleet_hosts(
+    sim::ShardedEngine& sharded, const std::vector<int>& shards,
+    const std::vector<virt::PlatformSpec>& specs, const hw::Topology& full_host,
+    const hw::CostModel& costs, std::uint64_t base_seed,
+    const std::function<void(int host, virt::Platform& platform, Rng rng)>&
+        attach) {
+  PINSIM_CHECK_MSG(shards.size() == specs.size(),
+                   "one shard assignment per host spec");
+  const int n = static_cast<int>(specs.size());
+  FleetHosts out;
+  out.hosts.reserve(specs.size());
+  out.platforms.reserve(specs.size());
+  for (int h = 0; h < n; ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    const std::uint64_t seed =
+        base_seed + 1000003ull * static_cast<std::uint64_t>(h);
+    const virt::PlatformSpec& spec = specs[i];
+    out.hosts.push_back(std::make_unique<virt::Host>(
+        sharded, shards[i], virt::host_topology_for(spec, full_host), costs,
+        seed));
+    out.platforms.push_back(virt::make_platform(*out.hosts.back(), spec));
+    if (attach) {
+      attach(h, *out.platforms.back(), Rng(seed ^ 0x517cc1b727220a95ull));
+    }
+  }
+  return out;
+}
+
 ShardedFleet::ShardedFleet(ShardedFleetConfig config)
     : config_(std::move(config)) {
   PINSIM_CHECK_MSG(config_.hosts >= 1,
@@ -41,31 +69,23 @@ ShardedFleetResult ShardedFleet::run(workload::Workload& workload) {
       config_.shards, lookahead, config_.threads});
   sharded.seed_rngs(Rng(config_.base_seed));
 
-  // Build and deploy every host. Seeds follow the experiment runner's
-  // per-repetition spacing so host h here matches repetition h of a
-  // solo-engine run of the same spec.
-  std::vector<std::unique_ptr<virt::Host>> hosts;
-  std::vector<std::unique_ptr<virt::Platform>> platforms;
+  // Build and deploy every host through the shared fleet builder (seed
+  // spacing and construction interleaving are its contract).
   std::vector<std::unique_ptr<workload::Deployment>> deployments;
-  hosts.reserve(static_cast<std::size_t>(n));
-  platforms.reserve(static_cast<std::size_t>(n));
   deployments.reserve(static_cast<std::size_t>(n));
-  for (int h = 0; h < n; ++h) {
-    const std::uint64_t seed =
-        config_.base_seed + 1000003ull * static_cast<std::uint64_t>(h);
-    hosts.push_back(std::make_unique<virt::Host>(
-        sharded, shard_of(h),
-        virt::host_topology_for(config_.spec, config_.full_host),
-        config_.costs, seed));
-    platforms.push_back(virt::make_platform(*hosts.back(), config_.spec));
-    auto deployment = workload.deploy(*platforms.back(),
-                                      Rng(seed ^ 0x517cc1b727220a95ull));
-    PINSIM_CHECK_MSG(deployment != nullptr,
-                     workload.name()
-                         << " does not support the split deploy/collect "
-                            "lifecycle needed for fleet co-simulation");
-    deployments.push_back(std::move(deployment));
-  }
+  const std::vector<virt::PlatformSpec> specs(static_cast<std::size_t>(n),
+                                              config_.spec);
+  const FleetHosts built = build_fleet_hosts(
+      sharded, shard_of_, specs, config_.full_host, config_.costs,
+      config_.base_seed,
+      [&workload, &deployments](int, virt::Platform& platform, Rng rng) {
+        auto deployment = workload.deploy(platform, rng);
+        PINSIM_CHECK_MSG(deployment != nullptr,
+                         workload.name()
+                             << " does not support the split deploy/collect "
+                                "lifecycle needed for fleet co-simulation");
+        deployments.push_back(std::move(deployment));
+      });
 
   // Heartbeat ring: host h pings host h+1 every heartbeat_period. The
   // send side runs on h's shard (self-rescheduling event); the receive

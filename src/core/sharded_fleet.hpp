@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,30 @@
 #include "workload/workload.hpp"
 
 namespace pinsim::core {
+
+/// Hosts and platforms of one co-simulated fleet, host h shard-resident
+/// on the shard the builder was given for it.
+struct FleetHosts {
+  std::vector<std::unique_ptr<virt::Host>> hosts;
+  std::vector<std::unique_ptr<virt::Platform>> platforms;
+};
+
+/// Build `specs.size()` shard-resident hosts (host h on `shards[h]`,
+/// running `specs[h]`) with the experiment runner's per-repetition seed
+/// spacing, so host h matches repetition h of a solo-engine run of the
+/// same spec. `attach` is invoked right after each host's platform is
+/// built — construction stays interleaved, so host h's initial kernel
+/// events and whatever attach() schedules keep their relative order no
+/// matter which hosts share a shard; the Rng handed to attach is the
+/// per-host deployment stream ShardedFleet has always used. Shared by
+/// ShardedFleet (batch deployments) and cluster::Fleet (serving
+/// sources).
+FleetHosts build_fleet_hosts(
+    sim::ShardedEngine& sharded, const std::vector<int>& shards,
+    const std::vector<virt::PlatformSpec>& specs, const hw::Topology& full_host,
+    const hw::CostModel& costs, std::uint64_t base_seed,
+    const std::function<void(int host, virt::Platform& platform, Rng rng)>&
+        attach);
 
 struct ShardedFleetConfig {
   /// Machines in the fleet (>= 1), all running `spec`.

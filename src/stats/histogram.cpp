@@ -57,6 +57,28 @@ void LinearHistogram::add(double value) {
   ++total_;
 }
 
+std::int64_t LinearHistogram::count_ge(double threshold) const {
+  if (threshold <= 0.0) return total_;
+  const std::size_t first = static_cast<std::size_t>(
+      std::min(std::ceil(threshold / width_),
+               static_cast<double>(buckets_.size())));
+  std::int64_t count = 0;
+  for (std::size_t i = first; i < buckets_.size(); ++i) {
+    count += buckets_[i];
+  }
+  return count;
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  PINSIM_CHECK_MSG(width_ == other.width_ &&
+                       buckets_.size() == other.buckets_.size(),
+                   "merging LinearHistograms with different layouts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
 double LinearHistogram::quantile(double q) const {
   PINSIM_CHECK(q > 0.0 && q < 1.0);
   PINSIM_CHECK(total_ > 0);

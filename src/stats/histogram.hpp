@@ -39,10 +39,22 @@ class LinearHistogram {
   void add(double value);
 
   std::int64_t count() const { return total_; }
+  double width() const { return width_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
 
   /// Approximate p-quantile (0 < q < 1) by linear interpolation within
   /// the containing bucket.
   double quantile(double q) const;
+
+  /// Samples with value >= threshold. Exact when the threshold sits on
+  /// a bucket boundary (SLO targets are chosen that way); otherwise
+  /// rounds the boundary up to the next bucket edge.
+  std::int64_t count_ge(double threshold) const;
+
+  /// Pool another histogram's samples into this one. Both must share
+  /// the same width and bucket count (checked) — used to aggregate
+  /// per-repetition latency distributions into fleet-level percentiles.
+  void merge(const LinearHistogram& other);
 
  private:
   double width_;

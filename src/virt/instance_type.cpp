@@ -28,4 +28,16 @@ const InstanceType& instance_by_cores(int cores) {
   return instance_catalog().front();  // unreachable
 }
 
+const InstanceType& largest_instance_within(int cores) {
+  const InstanceType* best = nullptr;
+  for (const auto& type : instance_catalog()) {
+    if (type.cores <= cores && (best == nullptr || type.cores > best->cores)) {
+      best = &type;
+    }
+  }
+  PINSIM_CHECK_MSG(best != nullptr,
+                   "no instance type fits within " << cores << " cores");
+  return *best;
+}
+
 }  // namespace pinsim::virt

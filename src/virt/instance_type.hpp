@@ -24,4 +24,9 @@ const InstanceType& instance_by_name(const std::string& name);
 /// Lookup by core count. Throws on unknown.
 const InstanceType& instance_by_cores(int cores);
 
+/// Largest catalog instance with at most `cores` cores — the fallback
+/// sizing when no instance lands in a recommended CHR band. Throws when
+/// even the smallest instance does not fit.
+const InstanceType& largest_instance_within(int cores);
+
 }  // namespace pinsim::virt

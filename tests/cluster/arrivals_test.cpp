@@ -1,0 +1,114 @@
+#include "cluster/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::cluster {
+namespace {
+
+std::vector<SimTime> take(Arrivals& arrivals, int count) {
+  std::vector<SimTime> times;
+  times.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) times.push_back(arrivals.next());
+  return times;
+}
+
+/// Arrivals inside [from, to) seconds, scanning the stream until `to`.
+int count_in_window(Arrivals& arrivals, double from, double to) {
+  int count = 0;
+  for (;;) {
+    const SimTime t = arrivals.next();
+    if (t >= sec_f(to)) return count;
+    if (t >= sec_f(from)) ++count;
+  }
+}
+
+TEST(ArrivalsTest, SameSeedSameStream) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::Diurnal;
+  config.diurnal_period_seconds = 60.0;
+  Arrivals a(config, Rng(7));
+  Arrivals b(config, Rng(7));
+  EXPECT_EQ(take(a, 500), take(b, 500));
+}
+
+TEST(ArrivalsTest, DifferentSeedDifferentStream) {
+  Arrivals a(ArrivalConfig{}, Rng(7));
+  Arrivals b(ArrivalConfig{}, Rng(8));
+  EXPECT_NE(take(a, 50), take(b, 50));
+}
+
+TEST(ArrivalsTest, TimesAreNonDecreasingAndPositive) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::Burst;
+  Arrivals arrivals(config, Rng(11));
+  SimTime last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = arrivals.next();
+    EXPECT_GE(t, last);
+    EXPECT_GT(t, 0);
+    last = t;
+  }
+}
+
+TEST(ArrivalsTest, PoissonHitsConfiguredRate) {
+  ArrivalConfig config;
+  config.rate_per_second = 200.0;
+  Arrivals arrivals(config, Rng(3));
+  const int count = count_in_window(arrivals, 0.0, 50.0);
+  // 10,000 expected; a 5% band is ~7 standard deviations.
+  EXPECT_NEAR(count, 10000, 500);
+  EXPECT_EQ(arrivals.peak_rate(), 200.0);
+}
+
+TEST(ArrivalsTest, BurstPhaseComesFirstAndIsDenser) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::Burst;
+  config.rate_per_second = 100.0;
+  config.burst_multiplier = 8.0;
+  config.burst_seconds = 2.0;
+  config.quiet_seconds = 10.0;
+  EXPECT_EQ(Arrivals(config, Rng(1)).rate_at(1.0), 800.0);
+  EXPECT_EQ(Arrivals(config, Rng(1)).rate_at(5.0), 100.0);
+  EXPECT_EQ(Arrivals(config, Rng(1)).rate_at(13.0), 800.0);  // next cycle
+  Arrivals burst(config, Rng(5));
+  const int in_burst = count_in_window(burst, 0.0, 2.0);
+  Arrivals quiet(config, Rng(5));
+  const int in_quiet = count_in_window(quiet, 2.0, 4.0);
+  EXPECT_GT(in_burst, 4 * in_quiet);
+}
+
+TEST(ArrivalsTest, DiurnalTroughAtZeroPeakAtHalfPeriod) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::Diurnal;
+  config.rate_per_second = 100.0;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_period_seconds = 120.0;
+  const Arrivals arrivals(config, Rng(1));
+  EXPECT_NEAR(arrivals.rate_at(0.0), 20.0, 1e-9);
+  EXPECT_NEAR(arrivals.rate_at(60.0), 180.0, 1e-9);
+  EXPECT_NEAR(arrivals.rate_at(120.0), 20.0, 1e-9);
+  EXPECT_NEAR(arrivals.peak_rate(), 180.0, 1e-9);
+}
+
+TEST(ArrivalsTest, RejectsInvalidConfig) {
+  ArrivalConfig zero_rate;
+  zero_rate.rate_per_second = 0.0;
+  EXPECT_THROW(Arrivals(zero_rate, Rng(1)), InvariantViolation);
+  ArrivalConfig shrink;
+  shrink.kind = ArrivalKind::Burst;
+  shrink.burst_multiplier = 0.5;
+  EXPECT_THROW(Arrivals(shrink, Rng(1)), InvariantViolation);
+  ArrivalConfig full_swing;
+  full_swing.kind = ArrivalKind::Diurnal;
+  full_swing.diurnal_amplitude = 1.0;
+  EXPECT_THROW(Arrivals(full_swing, Rng(1)), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace pinsim::cluster

@@ -1,0 +1,85 @@
+#include "cluster/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace pinsim::cluster {
+namespace {
+
+AutoscalerConfig watermarks() {
+  AutoscalerConfig config;
+  config.min_instances = 1;
+  config.max_instances = 4;
+  config.high_watermark = 8.0;
+  config.low_watermark = 2.0;
+  config.cooldown = sec(5);
+  return config;
+}
+
+TEST(AutoscalerTest, HoldsInsideTheBand) {
+  Autoscaler scaler(watermarks());
+  EXPECT_EQ(scaler.evaluate(sec(1), 2, 0, 10), 0);  // 5 per instance
+}
+
+TEST(AutoscalerTest, ScalesUpAboveHighWatermark) {
+  Autoscaler scaler(watermarks());
+  EXPECT_EQ(scaler.evaluate(sec(1), 2, 0, 20), 1);  // 10 per instance
+}
+
+TEST(AutoscalerTest, ScalesDownBelowLowWatermark) {
+  Autoscaler scaler(watermarks());
+  EXPECT_EQ(scaler.evaluate(sec(1), 3, 0, 3), -1);  // 1 per instance
+}
+
+TEST(AutoscalerTest, CooldownSuppressesBackToBackDecisions) {
+  Autoscaler scaler(watermarks());
+  EXPECT_EQ(scaler.evaluate(sec(1), 1, 0, 100), 1);
+  EXPECT_EQ(scaler.evaluate(sec(2), 1, 1, 100), 0);  // still cooling down
+  EXPECT_EQ(scaler.evaluate(sec(7), 2, 0, 100), 1);  // cooldown elapsed
+}
+
+TEST(AutoscalerTest, ProvisioningCountsTowardCapacity) {
+  Autoscaler scaler(watermarks());
+  // 20 outstanding over (1 active + 2 provisioning) = 6.7 per instance.
+  EXPECT_EQ(scaler.evaluate(sec(1), 1, 2, 20), 0);
+}
+
+TEST(AutoscalerTest, RespectsFloorAndCeiling) {
+  Autoscaler scaler(watermarks());
+  EXPECT_EQ(scaler.evaluate(sec(1), 4, 0, 1000), 0);   // at max
+  Autoscaler other(watermarks());
+  EXPECT_EQ(other.evaluate(sec(1), 1, 0, 0), 0);       // at min
+}
+
+TEST(AutoscalerTest, RepairsBelowFloorDespiteCooldown) {
+  AutoscalerConfig config = watermarks();
+  config.min_instances = 2;
+  Autoscaler scaler(config);
+  EXPECT_EQ(scaler.evaluate(sec(1), 2, 0, 100), 1);
+  // Capacity dropped under the floor inside the cooldown window: the
+  // floor repair fires anyway.
+  EXPECT_EQ(scaler.evaluate(sec(2), 1, 0, 0), 1);
+}
+
+TEST(AutoscalerTest, StepBoundsEachDecision) {
+  AutoscalerConfig config = watermarks();
+  config.step = 3;
+  Autoscaler scaler(config);
+  EXPECT_EQ(scaler.evaluate(sec(1), 2, 0, 1000), 2);  // capped at max 4
+  Autoscaler other(config);
+  EXPECT_EQ(other.evaluate(sec(1), 4, 0, 0), -3);     // floored at min 1
+}
+
+TEST(AutoscalerTest, RejectsInvalidConfig) {
+  AutoscalerConfig inverted = watermarks();
+  inverted.low_watermark = 10.0;
+  EXPECT_THROW(Autoscaler{inverted}, InvariantViolation);
+  AutoscalerConfig hollow = watermarks();
+  hollow.max_instances = 0;
+  EXPECT_THROW(Autoscaler{hollow}, InvariantViolation);
+}
+
+}  // namespace
+}  // namespace pinsim::cluster

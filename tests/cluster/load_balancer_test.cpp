@@ -1,0 +1,77 @@
+#include "cluster/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pinsim::cluster {
+namespace {
+
+TEST(LoadBalancerTest, RoundRobinCyclesActiveBackends) {
+  LoadBalancer lb(BalancerPolicy::RoundRobin, 4);
+  EXPECT_EQ(lb.pick(), 0);
+  EXPECT_EQ(lb.pick(), 1);
+  EXPECT_EQ(lb.pick(), 2);
+  EXPECT_EQ(lb.pick(), 3);
+  EXPECT_EQ(lb.pick(), 0);
+  lb.set_active(1, false);
+  EXPECT_EQ(lb.pick(), 2);  // skips the drained backend
+  EXPECT_EQ(lb.pick(), 3);
+  EXPECT_EQ(lb.pick(), 0);
+  EXPECT_EQ(lb.decisions(), 8);
+}
+
+TEST(LoadBalancerTest, LeastOutstandingPicksMinTiesToLowestIndex) {
+  LoadBalancer lb(BalancerPolicy::LeastOutstanding, 3);
+  lb.add_outstanding(0, 2);
+  lb.add_outstanding(1, 1);
+  lb.add_outstanding(2, 1);
+  EXPECT_EQ(lb.pick(), 1);
+  lb.add_outstanding(1, -1);
+  EXPECT_EQ(lb.pick(), 1);
+  lb.set_active(1, false);
+  EXPECT_EQ(lb.pick(), 2);
+  EXPECT_EQ(lb.total_outstanding(), 3);
+}
+
+TEST(LoadBalancerTest, ChrAwarePrefersInBandBackends) {
+  LoadBalancer lb(BalancerPolicy::ChrAware, 3);
+  lb.set_chr_in_range(0, false);
+  lb.set_chr_in_range(1, true);
+  lb.set_chr_in_range(2, true);
+  lb.add_outstanding(1, 5);  // in-band but busier than backend 0
+  EXPECT_EQ(lb.pick(), 2);
+  lb.add_outstanding(2, 6);
+  EXPECT_EQ(lb.pick(), 1);
+}
+
+TEST(LoadBalancerTest, ChrAwareFallsBackWhenNoBandMember) {
+  LoadBalancer lb(BalancerPolicy::ChrAware, 2);
+  lb.set_chr_in_range(0, false);
+  lb.set_chr_in_range(1, false);
+  lb.add_outstanding(0, 3);
+  EXPECT_EQ(lb.pick(), 1);
+  lb.set_active(1, false);
+  EXPECT_EQ(lb.pick(), 0);
+}
+
+TEST(LoadBalancerTest, NoActiveBackendReturnsMinusOne) {
+  LoadBalancer lb(BalancerPolicy::RoundRobin, 2);
+  lb.set_active(0, false);
+  lb.set_active(1, false);
+  EXPECT_EQ(lb.pick(), -1);
+  EXPECT_EQ(lb.decisions(), 0);
+  EXPECT_EQ(lb.active_count(), 0);
+}
+
+TEST(LoadBalancerTest, ChecksBoundsAndNegativeOutstanding) {
+  LoadBalancer lb(BalancerPolicy::RoundRobin, 2);
+  EXPECT_THROW(lb.set_active(2, true), InvariantViolation);
+  EXPECT_THROW(lb.outstanding(-1), InvariantViolation);
+  EXPECT_THROW(lb.add_outstanding(0, -1), InvariantViolation);
+  EXPECT_THROW(LoadBalancer(BalancerPolicy::RoundRobin, 0),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace pinsim::cluster

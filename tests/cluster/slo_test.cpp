@@ -1,0 +1,46 @@
+#include "cluster/slo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pinsim::cluster {
+namespace {
+
+TEST(SloTrackerTest, EmptySummaryIsZeroFilled) {
+  const SloTracker tracker{SloConfig{}};
+  const SloSummary summary = tracker.summary();
+  EXPECT_EQ(summary.total, 0);
+  EXPECT_EQ(summary.violations, 0);
+  EXPECT_EQ(summary.violation_fraction, 0.0);
+  EXPECT_EQ(summary.p50_seconds, 0.0);
+  EXPECT_EQ(summary.p999_seconds, 0.0);
+  EXPECT_EQ(summary.max_seconds, 0.0);
+}
+
+TEST(SloTrackerTest, CountsViolationsSampleExactly) {
+  SloConfig config;
+  config.target_seconds = 0.5;
+  SloTracker tracker(config);
+  tracker.record(0.1);
+  tracker.record(0.5);  // exactly on target: not a violation
+  tracker.record(0.6);
+  tracker.record(2.0);
+  const SloSummary summary = tracker.summary();
+  EXPECT_EQ(summary.total, 4);
+  EXPECT_EQ(summary.violations, 2);
+  EXPECT_EQ(summary.violation_fraction, 0.5);
+  EXPECT_EQ(summary.max_seconds, 2.0);
+  EXPECT_NEAR(summary.mean_seconds, 0.8, 1e-12);
+}
+
+TEST(SloTrackerTest, PercentilesTrackTheTail) {
+  SloTracker tracker{SloConfig{}};
+  for (int i = 0; i < 990; ++i) tracker.record(0.010);
+  for (int i = 0; i < 10; ++i) tracker.record(1.000);
+  const SloSummary summary = tracker.summary();
+  EXPECT_NEAR(summary.p50_seconds, 0.010, 0.002);
+  EXPECT_NEAR(summary.p99_seconds, 0.011, 0.002);
+  EXPECT_NEAR(summary.p999_seconds, 1.000, 0.002);
+}
+
+}  // namespace
+}  // namespace pinsim::cluster

@@ -55,6 +55,46 @@ TEST(LinearHistogramTest, ClampsToLastBucket) {
   EXPECT_LE(h.quantile(0.5), 10.0);
 }
 
+TEST(LinearHistogramTest, CountGeAtBucketBoundaries) {
+  LinearHistogram h(1.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(7.5);
+  EXPECT_EQ(h.count_ge(0.0), 4);
+  EXPECT_EQ(h.count_ge(1.0), 3);
+  EXPECT_EQ(h.count_ge(2.0), 2);
+  EXPECT_EQ(h.count_ge(8.0), 0);
+  // Off-boundary thresholds round up to the next bucket edge.
+  EXPECT_EQ(h.count_ge(1.2), 2);
+  // Beyond the clamped range nothing matches until a clamp lands there.
+  EXPECT_EQ(h.count_ge(1e9), 0);
+  h.add(1e9);
+  EXPECT_EQ(h.count_ge(9.0), 1);
+}
+
+TEST(LinearHistogramTest, MergePoolsSamples) {
+  LinearHistogram a(0.5, 100);
+  LinearHistogram b(0.5, 100);
+  for (int i = 0; i < 50; ++i) a.add(1.0);
+  for (int i = 0; i < 50; ++i) b.add(40.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_EQ(a.count_ge(40.0), 50);
+  EXPECT_NEAR(a.quantile(0.25), 1.0, 0.5);
+  EXPECT_NEAR(a.quantile(0.75), 40.0, 0.5);
+}
+
+TEST(LinearHistogramTest, MergeRejectsMismatchedLayouts) {
+  LinearHistogram a(1.0, 10);
+  LinearHistogram narrow(0.5, 10);
+  LinearHistogram shallow(1.0, 5);
+  EXPECT_THROW(a.merge(narrow), InvariantViolation);
+  EXPECT_THROW(a.merge(shallow), InvariantViolation);
+  EXPECT_EQ(a.width(), 1.0);
+  EXPECT_EQ(a.num_buckets(), 10u);
+}
+
 TEST(LinearHistogramTest, RejectsInvalidArguments) {
   EXPECT_THROW(LinearHistogram(0.0, 10), InvariantViolation);
   LinearHistogram h(1.0, 10);

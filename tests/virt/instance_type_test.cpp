@@ -36,6 +36,14 @@ TEST(InstanceTypeTest, LookupByCores) {
   EXPECT_THROW(instance_by_cores(7), InvariantViolation);
 }
 
+TEST(InstanceTypeTest, LargestInstanceWithin) {
+  EXPECT_EQ(largest_instance_within(2).name, "Large");
+  EXPECT_EQ(largest_instance_within(3).name, "Large");
+  EXPECT_EQ(largest_instance_within(16).name, "4xLarge");
+  EXPECT_EQ(largest_instance_within(1000).name, "16xLarge");
+  EXPECT_THROW(largest_instance_within(1), InvariantViolation);
+}
+
 TEST(InstanceTypeTest, MemoryScalesWithCores) {
   for (const auto& type : instance_catalog()) {
     EXPECT_EQ(type.memory_gb, type.cores * 4);

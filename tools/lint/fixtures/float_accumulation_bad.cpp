@@ -1,0 +1,32 @@
+// Fixture: floating-point reductions in unordered iteration order.
+// Each marked line accumulates a float/double while range-for'ing an
+// unordered container: bucket order varies across runs and float
+// arithmetic is not associative, so the reduction is nondeterministic.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double total_weight(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [id, w] : weights) {
+    sum += w;  // expect: float-accumulation
+  }
+  return sum;
+}
+
+float scale_product(const std::unordered_set<float>& factors) {
+  float product = 1.0f;
+  for (float f : factors) product *= f;  // expect: float-accumulation
+  return product;
+}
+
+double spelled_out(const std::unordered_map<int, double>& weights) {
+  double acc = 0.0;
+  for (const auto& [id, w] : weights) {
+    acc = acc + w;  // expect: float-accumulation
+  }
+  return acc;
+}
+
+}  // namespace fixture

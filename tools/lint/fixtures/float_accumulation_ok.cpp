@@ -1,0 +1,51 @@
+// Fixture: reductions the float-accumulation rule must ignore —
+// integer accumulators, float reductions over ordered containers,
+// fresh per-iteration locals, comparisons, and an annotated line.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::int64_t count_heavy(const std::unordered_map<int, double>& weights) {
+  std::int64_t heavy = 0;
+  for (const auto& [id, w] : weights) {
+    if (w > 1.0) heavy += 1;  // integer adds commute exactly
+  }
+  return heavy;
+}
+
+double ordered_total(const std::map<int, double>& calibrated) {
+  double sum = 0.0;
+  for (const auto& [id, w] : calibrated) {
+    sum += w;  // std::map iterates in key order — deterministic
+  }
+  return sum;
+}
+
+double vector_total(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (double v : samples) total += v;
+  return total;
+}
+
+double fresh_locals_and_compares(
+    const std::unordered_map<int, double>& weights, double limit) {
+  double matches = 0.0;
+  for (const auto& [id, w] : weights) {
+    double scaled = w * 2.0;  // fresh local, not an accumulation
+    if (scaled == limit) matches = limit;  // plain (re)assignment
+  }
+  return matches;
+}
+
+double annotated(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [id, w] : weights) {
+    sum += w;  // pinsim-lint: allow(float-accumulation)
+  }
+  return sum;
+}
+
+}  // namespace fixture

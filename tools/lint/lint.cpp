@@ -269,11 +269,16 @@ class Checker {
   /// unordered_map/unordered_set type.
   std::set<std::string> collect_unordered_names();
 
+  /// Names of variables/members declared in this file with a plain
+  /// float/double type.
+  std::set<std::string> collect_float_names();
+
   void check_determinism();
   void check_ordering();
   void check_index_safety();
   void check_engine_api();
   void check_predicate_purity();
+  void check_float_accumulation();
   void check_hygiene();
 
   const Config& config_;
@@ -327,6 +332,113 @@ std::set<std::string> Checker::collect_unordered_names() {
     }
   }
   return names;
+}
+
+std::set<std::string> Checker::collect_float_names() {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (!(is_ident(i, "float") || is_ident(i, "double"))) continue;
+    std::size_t j = i + 1;
+    while (j < toks().size() &&
+           (is_punct(j, "&") || is_punct(j, "*") || is_ident(j, "const"))) {
+      ++j;
+    }
+    const Token* name = at(j);
+    // Require a declaration shape (`double sum = ...;` / `double w;` /
+    // a parameter `double w,` or `double w)`) so calls and casts that
+    // merely mention the type don't poison the name set.
+    if (name == nullptr || name->kind != Token::kIdent) continue;
+    if (is_punct(j + 1, "(")) continue;  // `double f(...)` declares a function
+    names.insert(name->text);
+  }
+  return names;
+}
+
+void Checker::check_float_accumulation() {
+  const std::string rule = "float-accumulation";
+  const std::set<std::string> unordered = collect_unordered_names();
+  if (unordered.empty()) return;
+  const std::set<std::string> floats = collect_float_names();
+  if (floats.empty()) return;
+  for (std::size_t i = 0; i < toks().size(); ++i) {
+    if (!is_ident(i, "for") || !is_punct(i + 1, "(")) continue;
+    // Range-for shape: colon at paren depth 1 (same scan as the
+    // determinism pass). Classic three-clause fors iterate whatever
+    // order their index imposes and are out of scope here.
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks().size(); ++j) {
+      if (is_punct(j, "(")) {
+        ++depth;
+      } else if (is_punct(j, ")")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (depth == 1 && colon == 0 && is_punct(j, ":")) {
+        colon = j;
+      }
+    }
+    if (colon == 0 || close == 0) continue;
+    bool over_unordered = false;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks()[j].kind == Token::kIdent &&
+          unordered.count(toks()[j].text) != 0) {
+        over_unordered = true;
+        break;
+      }
+    }
+    if (!over_unordered) continue;
+    // Loop body: a brace block after the close paren, or a single
+    // statement up to the next ';'.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end = body_begin;
+    if (is_punct(body_begin, "{")) {
+      int braces = 0;
+      for (std::size_t j = body_begin; j < toks().size(); ++j) {
+        if (is_punct(j, "{")) {
+          ++braces;
+        } else if (is_punct(j, "}")) {
+          if (--braces == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      }
+      ++body_begin;
+    } else {
+      for (std::size_t j = body_begin; j < toks().size(); ++j) {
+        if (is_punct(j, ";")) {
+          body_end = j;
+          break;
+        }
+      }
+    }
+    for (std::size_t j = body_begin; j < body_end; ++j) {
+      const Token& t = toks()[j];
+      if (t.kind != Token::kIdent || floats.count(t.text) == 0) continue;
+      // Compound assignment ops lex as two single-char punct tokens
+      // ('+' then '='), so `sum += x` is ident '+' '='. `sum ++` lexes
+      // as '+' '+' and `sum == x` as '=' '=', so neither shape
+      // matches.
+      const bool compound =
+          (is_punct(j + 1, "+") || is_punct(j + 1, "-") ||
+           is_punct(j + 1, "*") || is_punct(j + 1, "/")) &&
+          is_punct(j + 2, "=");
+      const bool rebind = is_punct(j + 1, "=") && !is_punct(j + 2, "=") &&
+                          is_ident(j + 2, t.text) &&
+                          (is_punct(j + 3, "+") || is_punct(j + 3, "-") ||
+                           is_punct(j + 3, "*") || is_punct(j + 3, "/"));
+      if (!compound && !rebind) continue;
+      report(rule, t.line,
+             "floating-point accumulation into '" + t.text +
+                 "' while iterating an unordered container — float "
+                 "arithmetic is not associative, so the result depends "
+                 "on bucket order; reduce in a sorted order or switch "
+                 "to an integer accumulator");
+    }
+  }
 }
 
 void Checker::check_determinism() {
@@ -630,6 +742,11 @@ void Checker::run() {
     if (path_matches(path_, dir)) predicate_purity = true;
   }
   if (predicate_purity) check_predicate_purity();
+  bool float_accumulation = false;
+  for (const std::string& dir : config_.float_accumulation_dirs) {
+    if (path_matches(path_, dir)) float_accumulation = true;
+  }
+  if (float_accumulation) check_float_accumulation();
   check_hygiene();
 }
 
@@ -646,8 +763,8 @@ bool path_matches(std::string_view path, std::string_view pattern) {
 
 Config default_config() {
   Config config;
-  config.simulated_dirs = {"src/sim/", "src/os/", "src/hw/", "src/virt/",
-                           "src/workload/"};
+  config.simulated_dirs = {"src/sim/",      "src/os/",       "src/hw/",
+                           "src/virt/",     "src/workload/", "src/cluster/"};
   config.output_allowed = {"bench/", "examples/", "tools/",
                            "src/util/log.cpp"};
   config.guarded_indexes = {
@@ -662,6 +779,7 @@ Config default_config() {
   config.engine_api_dirs = {"src/"};
   config.engine_api_exempt = {"src/sim/engine.hpp", "src/sim/engine.cpp"};
   config.predicate_purity_dirs = {"src/", "bench/", "examples/"};
+  config.float_accumulation_dirs = {"src/", "bench/", "examples/"};
   return config;
 }
 

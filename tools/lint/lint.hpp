@@ -30,6 +30,11 @@
 //                 globals — a stop condition on shared mutable state is
 //                 evaluated at window boundaries under the sharded
 //                 engine and must depend only on simulation state.
+//   float-accumulation
+//                 float/double accumulation (`sum += x`, `sum = sum + x`)
+//                 inside a range-for over an unordered container —
+//                 float addition is not associative, so the reduction's
+//                 value depends on bucket order and varies across runs.
 //   hygiene       #pragma once in every header, no `using namespace`
 //                 at namespace scope in headers, no std::cout/printf
 //                 outside bench/, examples/, tools/ and the log sink.
@@ -85,6 +90,13 @@ struct Config {
   /// are findings (the predicate must be a pure function of simulation
   /// state, or sharded runs stop nondeterministically).
   std::vector<std::string> predicate_purity_dirs;
+
+  /// Directory prefixes the float-accumulation rule applies to: a
+  /// float/double variable accumulated inside a range-for over an
+  /// unordered container is a finding (non-associative adds in
+  /// nondeterministic bucket order make the reduction vary across
+  /// runs even when every element is identical).
+  std::vector<std::string> float_accumulation_dirs;
 };
 
 /// The policy shipped with the repo (matches the layout under src/).

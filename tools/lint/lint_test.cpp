@@ -200,6 +200,38 @@ TEST(LintPredicatePurity, DoesNotApplyOutsideConfiguredDirs) {
                  "tests/sim/fixture_predicate_purity_bad.cpp", {});
 }
 
+// --- float-accumulation ---------------------------------------------------
+
+TEST(LintFloatAccumulation, FlagsUnorderedFloatReductions) {
+  expect_markers("float_accumulation_bad.cpp",
+                 "src/core/fixture_float_accumulation_bad.cpp");
+}
+
+TEST(LintFloatAccumulation, SilentOnOrderedIntegerAndAnnotated) {
+  expect_exactly("float_accumulation_ok.cpp",
+                 "src/core/fixture_float_accumulation_ok.cpp", {});
+}
+
+TEST(LintFloatAccumulation, DoesNotApplyOutsideConfiguredDirs) {
+  // Test code may reduce floats however it likes.
+  expect_exactly("float_accumulation_bad.cpp",
+                 "tests/core/fixture_float_accumulation_bad.cpp", {});
+}
+
+TEST(LintFloatAccumulation, StacksWithDeterminismInSimulatedDirs) {
+  // In a simulated dir the same loops also violate the determinism
+  // rule (range-for over an unordered container); both rules land,
+  // each on its own anchor line.
+  expect_exactly("float_accumulation_bad.cpp",
+                 "src/os/fixture_float_accumulation_bad.cpp",
+                 {{"determinism", 12},
+                  {"determinism", 20},
+                  {"determinism", 26},
+                  {"float-accumulation", 13},
+                  {"float-accumulation", 20},
+                  {"float-accumulation", 27}});
+}
+
 // --- hygiene --------------------------------------------------------------
 
 TEST(LintHygiene, FlagsHeaderAndOutputViolations) {

@@ -67,9 +67,10 @@ bool collect(const fs::path& root, const std::string& rel,
 int usage(int code) {
   std::cout << "usage: pinsim_lint [--root DIR] [path...]\n"
                "  Checks pinsim's determinism / ordering / index-safety /\n"
-               "  engine-api / hygiene invariants. Paths are repo-relative\n"
-               "  (default: src tests bench examples tools). Suppress a\n"
-               "  finding with  // pinsim-lint: allow(<rule>)\n";
+               "  engine-api / float-accumulation / hygiene invariants.\n"
+               "  Paths are repo-relative (default: src tests bench\n"
+               "  examples tools). Suppress a finding with\n"
+               "  // pinsim-lint: allow(<rule>)\n";
   return code;
 }
 
