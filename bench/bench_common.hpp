@@ -181,13 +181,22 @@ inline void maybe_print_engine_stats(const BenchOptions& options) {
       stats.fired > 0 ? static_cast<double>(stats.tombstone_pops) /
                             static_cast<double>(stats.fired)
                       : 0.0;
+  const double skipped_ratio =
+      stats.fired + stats.boundaries_skipped > 0
+          ? static_cast<double>(stats.boundaries_skipped) /
+                static_cast<double>(stats.fired + stats.boundaries_skipped)
+          : 0.0;
   std::cout << "engine stats: fired=" << stats.fired
             << " scheduled=" << stats.scheduled
             << " tombstone_pops=" << stats.tombstone_pops
             << " (ratio " << std::setprecision(4) << tombstone_ratio
             << ") deferred_rearms=" << stats.deferred_rearms
             << " reschedules=" << stats.reschedules
-            << " peak_heap=" << stats.peak_heap << "\n";
+            << " peak_heap=" << stats.peak_heap
+            << " boundaries_batched=" << stats.boundaries_batched
+            << " boundaries_skipped=" << stats.boundaries_skipped
+            << " (ratio " << std::setprecision(4) << skipped_ratio
+            << ") quiet_windows=" << stats.quiet_windows << "\n";
 }
 
 }  // namespace pinsim::bench

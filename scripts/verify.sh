@@ -10,7 +10,11 @@
 # 2. Build + run the tier-1 tests under ASan+UBSan (the indexed-heap
 #    runqueue and the flat cgroup slice arrays index by raw task/cpu
 #    ids; the sanitizers catch any stale-index use the unit tests
-#    would miss). Skip with PINSIM_SKIP_SANITIZERS=1 for a quick pass.
+#    would miss). The quantum-boundary fuzz oracle (randomized
+#    wakeup/preemption traces, fast-forward vs skip-free path) runs
+#    here too, so the quiet-core replay arithmetic is exercised with
+#    poisoned redzones. Skip with PINSIM_SKIP_SANITIZERS=1 for a
+#    quick pass.
 # 3. Build + run the parallel-harness tests under ThreadSanitizer
 #    (util::ThreadPool, ExperimentRunner::measure_all, and the
 #    barrier-synchronized sim::ShardedEngine round loop are the only
@@ -22,9 +26,11 @@
 #    PR, and run the micro suites once, writing machine-readable timings
 #    to BENCH_engine_latest.json, BENCH_sched_latest.json,
 #    BENCH_shard_latest.json, BENCH_timer_latest.json (the timer-path
-#    subset tracked by BENCH_timer.json), and BENCH_cluster_latest.json
-#    (all gitignored; diff against the committed BENCH_*.json snapshots
-#    when touching hot paths).
+#    subset tracked by BENCH_timer.json), BENCH_cluster_latest.json,
+#    and BENCH_hotloop_latest.json (quiet-core fast-forward +
+#    boundary batching, tracked by BENCH_hotloop.json) — all
+#    gitignored; diff against the committed BENCH_*.json snapshots
+#    when touching hot paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,6 +47,8 @@ if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
   cmake --build build-asan --target pinsim_tests pinsim_examples \
     pinsim_lint pinsim_lint_tests -j
   (cd build-asan && ctest --output-on-failure -j --timeout 300)
+  echo "== quantum-boundary fuzz oracle under ASan+UBSan =="
+  ./build-asan/tests/pinsim_tests --gtest_filter='*BoundaryFuzz*'
 
   echo "== parallel harness under TSan =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -53,7 +61,7 @@ fi
 echo "== Release build of the micro-benchmarks =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release --target micro_engine micro_sched micro_shard \
-  micro_cluster -j
+  micro_cluster micro_hotloop -j
 
 echo "== engine micro smoke (BENCH_engine_latest.json) =="
 ./build-release/bench/micro_engine \
@@ -75,6 +83,11 @@ echo "== timer-path micro smoke (BENCH_timer_latest.json) =="
 ./build-release/bench/micro_engine \
   --benchmark_filter='BM_BoundaryChurn|BM_EngineReschedule' \
   --benchmark_out=BENCH_timer_latest.json \
+  --benchmark_out_format=json
+
+echo "== scheduler hot-loop micro smoke (BENCH_hotloop_latest.json) =="
+./build-release/bench/micro_hotloop \
+  --benchmark_out=BENCH_hotloop_latest.json \
   --benchmark_out_format=json
 
 echo "== cluster micro smoke (BENCH_cluster_latest.json) =="

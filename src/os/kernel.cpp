@@ -19,10 +19,23 @@ Kernel::Kernel(sim::Engine& engine, const hw::Topology& topology,
       cache_model_(topology, costs),
       rng_(rng),
       params_(params),
-      name_(std::move(name)),
-      cores_(static_cast<std::size_t>(topology.num_cpus())) {
+      name_(std::move(name)) {
   PINSIM_CHECK(params_.sched_latency > 0);
   PINSIM_CHECK(params_.min_granularity > 0);
+  const auto n = static_cast<std::size_t>(topology.num_cpus());
+  current_.resize(n, nullptr);
+  rq_.resize(n);
+  boundary_.resize(n);
+  charged_until_.resize(n, 0);
+  slice_started_.resize(n, 0);
+  slice_length_.resize(n, 0);
+  quiet_.resize(n, 0);
+  quiet_b0_.resize(n, 0);
+  quiet_land_.resize(n, 0);
+  quiet_task_.resize(n, nullptr);
+  quiet_burned_.resize(n, 0);
+  solo_slice_ = std::max(params_.min_granularity, params_.sched_latency);
+  batch_domain_ = engine_->new_batch_domain();
   idle_socket_.resize(static_cast<std::size_t>(topology.sockets()));
   for (int cpu = 0; cpu < topology.num_cpus(); ++cpu) {
     refresh_cpu_masks(cpu);  // everything starts idle
@@ -30,20 +43,20 @@ Kernel::Kernel(sim::Engine& engine, const hw::Topology& topology,
 }
 
 void Kernel::refresh_cpu_masks(hw::CpuId cpu) {
-  const auto& core = cores_[static_cast<std::size_t>(cpu)];
+  const auto i = static_cast<std::size_t>(cpu);
   auto& socket_idle =
       idle_socket_[static_cast<std::size_t>(topology_->socket_of(cpu))];
-  if (core.current != nullptr) {
+  if (current_[i] != nullptr) {
     busy_.add(cpu);
   } else {
     busy_.remove(cpu);
   }
-  if (core.rq.empty()) {
+  if (rq_[i].empty()) {
     queued_.remove(cpu);
   } else {
     queued_.add(cpu);
   }
-  if (core.current == nullptr && core.rq.empty()) {
+  if (current_[i] == nullptr && rq_[i].empty()) {
     idle_.add(cpu);
     socket_idle.add(cpu);
   } else {
@@ -100,14 +113,14 @@ void Kernel::start_task(Task& task) {
     hint = irq_target(task);
   }
   const hw::CpuId cpu = place_task(task, hint);
-  task.vruntime = cores_[static_cast<std::size_t>(cpu)].rq.min_vruntime();
+  task.vruntime = rq_[static_cast<std::size_t>(cpu)].min_vruntime();
   ensure_housekeeping();
   enqueue_task(task, cpu);
 }
 
 bool Kernel::idle_cpu(hw::CpuId cpu) const {
-  const auto& core = cores_[static_cast<std::size_t>(cpu)];
-  return core.current == nullptr && core.rq.empty();
+  const auto i = static_cast<std::size_t>(cpu);
+  return current_[i] == nullptr && rq_[i].empty();
 }
 
 void Kernel::add_observer(SchedObserver& observer) {
@@ -118,8 +131,9 @@ bool Kernel::run_until_quiescent(SimTime horizon) {
   return engine_->run_until([this] { return live_tasks_ == 0; }, horizon);
 }
 
-SimDuration Kernel::slice_for(const CoreState& core) const {
-  const int runnable = core.rq.size() + (core.current != nullptr ? 1 : 0);
+SimDuration Kernel::slice_for(hw::CpuId cpu) const {
+  const auto i = static_cast<std::size_t>(cpu);
+  const int runnable = rq_[i].size() + (current_[i] != nullptr ? 1 : 0);
   const SimDuration share =
       params_.sched_latency / std::max(1, runnable);
   return std::max(params_.min_granularity, share);
@@ -148,20 +162,20 @@ hw::CpuId Kernel::cpu_of_running(const Task& task) const {
   if (task.state != TaskState::Running) return -1;
   const hw::CpuId cpu = task.last_cpu;
   PINSIM_CHECK(cpu >= 0);
-  PINSIM_CHECK(cores_[static_cast<std::size_t>(cpu)].current == &task);
+  PINSIM_CHECK(current_[static_cast<std::size_t>(cpu)] == &task);
   return cpu;
 }
 
 void Kernel::dispatch(hw::CpuId cpu) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  PINSIM_CHECK(core.current == nullptr);
-  if (core.rq.empty()) {
+  const auto i = static_cast<std::size_t>(cpu);
+  PINSIM_CHECK(current_[i] == nullptr);
+  if (rq_[i].empty()) {
     steal_for(cpu);
   }
   // Park throttled-group tasks encountered at dispatch (lazy parking).
   Task* next = nullptr;
-  while (!core.rq.empty()) {
-    Task& candidate = core.rq.pop_min();
+  while (!rq_[i].empty()) {
+    Task& candidate = rq_[i].pop_min();
     candidate.queued_cpu = -1;
     if (candidate.cgroup != nullptr && candidate.cgroup->throttled_on(cpu)) {
       candidate.state = TaskState::Throttled;
@@ -172,7 +186,7 @@ void Kernel::dispatch(hw::CpuId cpu) {
     break;
   }
   if (next == nullptr) {
-    core.boundary.cancel();
+    boundary_[i].cancel();
     refresh_cpu_masks(cpu);
     return;  // idle
   }
@@ -212,17 +226,17 @@ void Kernel::dispatch(hw::CpuId cpu) {
     *task.numa_home = topology_->socket_of(cpu);
   }
   task.state = TaskState::Running;
-  core.current = &task;
-  core.charged_until = now();
-  core.slice_started = now();
-  core.slice_length = slice_for(core);
+  current_[i] = &task;
+  charged_until_[i] = now();
+  slice_started_[i] = now();
+  slice_length_[i] = slice_for(cpu);
   // Masks must be current before advance_actions: the task may post a
   // message whose wakeup placement reads them.
   refresh_cpu_masks(cpu);
 
   if (remaining_cost(task) == 0) {
     if (!advance_actions(cpu, task)) {
-      core.current = nullptr;
+      current_[i] = nullptr;
       dispatch(cpu);
       return;
     }
@@ -231,16 +245,21 @@ void Kernel::dispatch(hw::CpuId cpu) {
 }
 
 void Kernel::charge_running(hw::CpuId cpu) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  Task* task = core.current;
+  exit_quiet(cpu);
+  charge_up_to(cpu, now());
+}
+
+void Kernel::charge_up_to(hw::CpuId cpu, SimTime t_end) {
+  const auto i = static_cast<std::size_t>(cpu);
+  Task* task = current_[i];
   if (task == nullptr) {
-    core.charged_until = now();
+    charged_until_[i] = t_end;
     return;
   }
-  const SimDuration elapsed = now() - core.charged_until;
+  const SimDuration elapsed = t_end - charged_until_[i];
   PINSIM_CHECK(elapsed >= 0);
   if (elapsed == 0) return;
-  core.charged_until = now();
+  charged_until_[i] = t_end;
 
   const SimDuration paid = std::min(task->overhead_debt, elapsed);
   task->overhead_debt -= paid;
@@ -271,23 +290,78 @@ void Kernel::charge_running(hw::CpuId cpu) {
   }
 }
 
+void Kernel::exit_quiet(hw::CpuId cpu) {
+  const auto i = static_cast<std::size_t>(cpu);
+  if (!quiet_[i]) return;
+  quiet_[i] = 0;
+  // The invariant behind the fast-forward: nothing that could have
+  // changed a scheduling decision happened while the window was open.
+  // Every mutation path (wakeup enqueue, balance move, charge) exits
+  // the window first, so at exit the core must still be running the
+  // entry task, alone, ungrouped.
+  Task* task = current_[i];
+  PINSIM_CHECK_MSG(task == quiet_task_[i],
+                   "quiet core " << cpu << " changed tasks mid-window");
+  PINSIM_CHECK_MSG(rq_[i].empty(),
+                   "quiet core " << cpu << " acquired queued work");
+  PINSIM_CHECK_MSG(task->cgroup == nullptr,
+                   "quiet core " << cpu << " running a grouped task");
+  const SimTime b0 = quiet_b0_[i];
+  const SimDuration L = solo_slice_;
+  PINSIM_CHECK(now() <= quiet_land_[i]);
+  std::int64_t skipped = 0;
+  if (now() > b0) {
+    // Replay the skipped pure-restart boundaries b_0..b_k (k the last
+    // one strictly before now) as one lump charge — exact because the
+    // entry predicate admits only weight-1.0, NUMA-local, ungrouped
+    // tasks, for which chunked charging is associative. The slice
+    // window is then the one the skip-free path would be in.
+    const std::int64_t k = (now() - b0 - 1) / L;
+    charge_up_to(cpu, b0 + k * L);
+    slice_started_[i] = b0 + k * L;
+    slice_length_[i] = L;
+    skipped = k + 1;
+  }
+  quiet_burned_[i] = static_cast<std::uint8_t>(skipped == 0);
+  engine_->note_boundaries_skipped(skipped);
+  if (!boundary_[i].pending()) {
+    // Landing: the parked timer itself fired (we are inside its
+    // handle_boundary), which replays as a normal boundary at the last
+    // restart instant before the task's real event.
+    return;
+  }
+  // Revocation by a foreign event: put the timer where the skip-free
+  // path would have it armed — the first boundary at or after now. The
+  // timer currently sits parked at the last boundary before landing,
+  // b0 + j_last*L; re-keying it to the instant it is already armed at
+  // would burn a sequence number for nothing, so skip the no-op move.
+  const std::int64_t j_last = (quiet_land_[i] - b0 - 1) / L;
+  const SimTime target = b0 + skipped * L;  // == b0 when now() <= b0
+  if (target != b0 + j_last * L) {
+    const bool moved = engine_->reschedule(boundary_[i], target);
+    PINSIM_CHECK(moved);
+  }
+}
+
 void Kernel::arm_boundary(hw::CpuId cpu, SimDuration delay) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  const auto i = static_cast<std::size_t>(cpu);
   const SimTime when = now() + delay;
-  if (engine_->reschedule(core.boundary, when)) return;
-  core.boundary =
-      engine_->schedule_tracked_at(when, [this, cpu] { on_boundary(cpu); });
+  if (engine_->reschedule(boundary_[i], when)) return;
+  boundary_[i] = engine_->schedule_tracked_at(
+      when, (batch_domain_ << 16) | static_cast<std::uint32_t>(cpu),
+      [this, cpu] { on_boundary(cpu); });
 }
 
 void Kernel::reprogram(hw::CpuId cpu) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  Task* task = core.current;
+  const auto i = static_cast<std::size_t>(cpu);
+  PINSIM_CHECK_MSG(!quiet_[i], "reprogram on a quiet core");
+  Task* task = current_[i];
   if (task == nullptr) {
-    core.boundary.cancel();
+    boundary_[i].cancel();
     return;
   }
   const SimDuration until_slice =
-      core.slice_started + core.slice_length - now();
+      slice_started_[i] + slice_length_[i] - now();
   const SimDuration cost = remaining_cost_on(*task, cpu);
   PINSIM_CHECK_MSG(cost > 0, "running task with nothing to do: "
                                  << task->name());
@@ -299,70 +373,110 @@ void Kernel::reprogram(hw::CpuId cpu) {
     next = std::min(next, costs_->cgroup_aggregate_interval);
     const SimDuration horizon = task->cgroup->runtime_horizon(cpu);
     next = std::min(next, std::max<SimDuration>(horizon, 1));
+  } else if (params_.quiet_fast_forward && rq_[i].empty() &&
+             !quiet_burned_[i] &&
+             cost > until_slice && until_slice >= 1 &&
+             task->cgroup == nullptr && task->weight == 1.0 &&
+             (task->numa_home == nullptr ||
+              *task->numa_home == topology_->socket_of(cpu))) {
+    // Quiet-core fast-forward. Alone on the cpu with no group and more
+    // work than slice, every boundary until the task's real event is a
+    // pure slice restart: charge (exact in one lump for weight-1.0
+    // NUMA-local ungrouped tasks), restart the solo slice, re-arm. Any
+    // event that could change that — a wakeup enqueue, a balance move,
+    // an IRQ charge — funnels through exit_quiet() first. So park the
+    // timer at the last boundary before the event in one move and skip
+    // the intermediate fires outright.
+    const SimDuration L = solo_slice_;
+    const std::int64_t j_last = (cost - until_slice - 1) / L;
+    if (j_last >= 1) {
+      quiet_[i] = 1;
+      quiet_b0_[i] = now() + until_slice;
+      quiet_land_[i] = now() + cost;
+      quiet_task_[i] = task;
+      engine_->note_quiet_window();
+      arm_boundary(cpu, until_slice + j_last * L);
+      return;
+    }
   }
   arm_boundary(cpu, next);
 }
 
 void Kernel::on_boundary(hw::CpuId cpu) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  Task* task = core.current;
+  handle_boundary(cpu);
+  // Drain every same-instant peer boundary of this kernel without
+  // paying a callback dispatch each: the engine pops matching entries
+  // one at a time (so a handler that re-arms or cancels a peer's entry
+  // is observed before that peer pops) and hands back the cpu id.
+  int peer;
+  while ((peer = engine_->pop_batched_peer(batch_domain_)) >= 0) {
+    handle_boundary(static_cast<hw::CpuId>(peer));
+  }
+}
+
+void Kernel::handle_boundary(hw::CpuId cpu) {
+  const auto i = static_cast<std::size_t>(cpu);
+  Task* task = current_[i];
   PINSIM_CHECK(task != nullptr);
+  // A boundary firing for real means the core survived a whole slice
+  // since the last revocation, so quiet entry is worth trying again.
+  quiet_burned_[i] = 0;
   charge_running(cpu);
 
   if (task->cgroup != nullptr && task->cgroup->throttled_on(cpu)) {
     notify([&](SchedObserver& o) {
-      o.on_slice(*task, cpu, now() - core.slice_started);
+      o.on_slice(*task, cpu, now() - slice_started_[i]);
     });
     ++stats_.throttle_events;
     notify([&](SchedObserver& o) { o.on_throttle(*task->cgroup); });
     task->state = TaskState::Throttled;
     task->cgroup->park(*task);
-    core.current = nullptr;
+    current_[i] = nullptr;
     dispatch(cpu);
     return;
   }
 
   if (remaining_cost(*task) == 0) {
     if (!advance_actions(cpu, *task)) {
-      core.current = nullptr;
+      current_[i] = nullptr;
       dispatch(cpu);
       return;
     }
   }
 
-  if (now() >= core.slice_started + core.slice_length) {
-    if (!core.rq.empty()) {
+  if (now() >= slice_started_[i] + slice_length_[i]) {
+    if (!rq_[i].empty()) {
       stop_running(cpu, /*requeue=*/true);
       dispatch(cpu);
       return;
     }
     // Alone on the cpu: start a fresh slice window.
-    core.slice_started = now();
-    core.slice_length = slice_for(core);
+    slice_started_[i] = now();
+    slice_length_[i] = slice_for(cpu);
   }
   reprogram(cpu);
 }
 
 void Kernel::stop_running(hw::CpuId cpu, bool requeue) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  Task* task = core.current;
+  const auto i = static_cast<std::size_t>(cpu);
+  Task* task = current_[i];
   PINSIM_CHECK(task != nullptr);
   notify([&](SchedObserver& o) {
-    o.on_slice(*task, cpu, now() - core.slice_started);
+    o.on_slice(*task, cpu, now() - slice_started_[i]);
   });
   ++stats_.preemptions;
-  core.current = nullptr;
+  current_[i] = nullptr;
   if (requeue) {
     task->state = TaskState::Runnable;
     task->enqueued_at = now();
     task->queued_cpu = cpu;
-    core.rq.enqueue(*task);
+    rq_[i].enqueue(*task);
   }
   refresh_cpu_masks(cpu);
 }
 
 bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  const auto i = static_cast<std::size_t>(cpu);
   // Busy-polling receive: burn another poll chunk unless the message
   // arrived, in which case the Recv completes and the driver proceeds.
   if (task.spin_recv) {
@@ -400,7 +514,7 @@ bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
         task.recv_waiting = true;
         block_task(task);
         notify([&](SchedObserver& o) {
-          o.on_slice(task, cpu, now() - core.slice_started);
+          o.on_slice(task, cpu, now() - slice_started_[i]);
         });
         return false;
       }
@@ -408,7 +522,7 @@ bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
         submit_io(task, action);
         block_task(task);
         notify([&](SchedObserver& o) {
-          o.on_slice(task, cpu, now() - core.slice_started);
+          o.on_slice(task, cpu, now() - slice_started_[i]);
         });
         return false;
       }
@@ -418,13 +532,13 @@ bool Kernel::advance_actions(hw::CpuId cpu, Task& task) {
                           [this, woken] { wake_common(*woken, 0); });
         block_task(task);
         notify([&](SchedObserver& o) {
-          o.on_slice(task, cpu, now() - core.slice_started);
+          o.on_slice(task, cpu, now() - slice_started_[i]);
         });
         return false;
       }
       case Action::Kind::Exit: {
         notify([&](SchedObserver& o) {
-          o.on_slice(task, cpu, now() - core.slice_started);
+          o.on_slice(task, cpu, now() - slice_started_[i]);
         });
         finish_task(task);
         return false;

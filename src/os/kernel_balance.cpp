@@ -20,8 +20,8 @@ void renormalize(Task& task, const Runqueue& from, const Runqueue& to) {
 }  // namespace
 
 void Kernel::steal_for(hw::CpuId cpu) {
-  auto& here = cores_[static_cast<std::size_t>(cpu)];
-  PINSIM_CHECK(here.rq.empty());
+  const auto i = static_cast<std::size_t>(cpu);
+  PINSIM_CHECK(rq_[i].empty());
 
   int best_load = 0;
   hw::CpuId victim = -1;
@@ -30,8 +30,10 @@ void Kernel::steal_for(hw::CpuId cpu) {
   // mask in ascending cpu order (the historical visitation order, so
   // every tie-break is unchanged) instead of walking all num_cpus()
   // runqueues. This cpu's runqueue is empty, so it is never in the mask.
+  // Quiet cores are never victims either — their runqueue is empty by
+  // the window invariant, so they are not in the mask.
   queued_.for_each([&](hw::CpuId other) {
-    auto& rq = cores_[static_cast<std::size_t>(other)].rq;
+    auto& rq = rq_[static_cast<std::size_t>(other)];
     if (rq.size() <= best_load) return;
     // Find the most-serviced task allowed to run here whose group is not
     // throttled (parking them here would just churn).
@@ -50,12 +52,12 @@ void Kernel::steal_for(hw::CpuId cpu) {
   });
   if (candidate == nullptr) return;
 
-  auto& victim_rq = cores_[static_cast<std::size_t>(victim)].rq;
+  auto& victim_rq = rq_[static_cast<std::size_t>(victim)];
   victim_rq.remove(*candidate);
   refresh_cpu_masks(victim);
-  renormalize(*candidate, victim_rq, here.rq);
+  renormalize(*candidate, victim_rq, rq_[i]);
   candidate->queued_cpu = cpu;
-  here.rq.enqueue(*candidate);
+  rq_[i].enqueue(*candidate);
   refresh_cpu_masks(cpu);
   ++stats_.steals;
 }
@@ -78,8 +80,8 @@ void Kernel::periodic_balance() {
     idlest = idle_.first();
   }
   (busy_ | queued_).for_each([&](hw::CpuId cpu) {
-    const auto& core = cores_[static_cast<std::size_t>(cpu)];
-    const int load = core.rq.size() + (core.current != nullptr ? 1 : 0);
+    const auto i = static_cast<std::size_t>(cpu);
+    const int load = rq_[i].size() + (current_[i] != nullptr ? 1 : 0);
     if (load > max_load) {
       max_load = load;
       busiest = cpu;
@@ -99,8 +101,8 @@ void Kernel::periodic_balance() {
     return;
   }
 
-  auto& from = cores_[static_cast<std::size_t>(busiest)];
-  Task* candidate = from.rq.max_where([&](const Task& task) {
+  auto& from_rq = rq_[static_cast<std::size_t>(busiest)];
+  Task* candidate = from_rq.max_where([&](const Task& task) {
     if (!allowed_cpus(task).contains(idlest)) return false;
     if (task.cgroup != nullptr && task.cgroup->throttled_on(idlest)) {
       return false;
@@ -109,15 +111,19 @@ void Kernel::periodic_balance() {
   });
   if (candidate == nullptr) return;
 
-  auto& to = cores_[static_cast<std::size_t>(idlest)];
-  from.rq.remove(*candidate);
+  auto& to_rq = rq_[static_cast<std::size_t>(idlest)];
+  from_rq.remove(*candidate);
   refresh_cpu_masks(busiest);
-  renormalize(*candidate, from.rq, to.rq);
+  renormalize(*candidate, from_rq, to_rq);
   candidate->queued_cpu = idlest;
-  to.rq.enqueue(*candidate);
+  // The balance path enqueues directly (no wakeup), and a quiet core —
+  // one task, load 1 — can be the idlest target; revoke its window
+  // before handing it queued work.
+  exit_quiet(idlest);
+  to_rq.enqueue(*candidate);
   refresh_cpu_masks(idlest);
   ++stats_.balance_moves;
-  if (to.current == nullptr) dispatch(idlest);
+  if (current_[static_cast<std::size_t>(idlest)] == nullptr) dispatch(idlest);
 }
 
 void Kernel::ensure_housekeeping() {
@@ -175,11 +181,14 @@ void Kernel::cgroup_aggregate(Cgroup& group) {
   // member currently on a cpu stalls for the duration of the walk,
   // which grows with the group's spread. Only cpus in the busy mask can
   // host a member, so the sweep skips idle cores entirely.
+  // Quiet cores are in the busy mask but can never host a member: the
+  // quiet predicate requires an ungrouped current task, so the cgroup
+  // test below skips them without touching their window.
   busy_.for_each([&](hw::CpuId cpu) {
-    auto& core = cores_[static_cast<std::size_t>(cpu)];
-    if (core.current != nullptr && core.current->cgroup == &group) {
+    const auto i = static_cast<std::size_t>(cpu);
+    if (current_[i] != nullptr && current_[i]->cgroup == &group) {
       charge_running(cpu);
-      core.current->overhead_debt += cost;
+      current_[i]->overhead_debt += cost;
       reprogram(cpu);
     }
   });

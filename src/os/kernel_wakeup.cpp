@@ -77,8 +77,8 @@ hw::CpuId Kernel::place_task(Task& task, hw::CpuId hint) {
   // never a random scatter, which would turn every busy wakeup into a
   // cache refill.
   auto load_of = [this](hw::CpuId cpu) {
-    const auto& core = cores_[static_cast<std::size_t>(cpu)];
-    return core.rq.size() + (core.current != nullptr ? 1 : 0);
+    const auto i = static_cast<std::size_t>(cpu);
+    return rq_[i].size() + (current_[i] != nullptr ? 1 : 0);
   };
   const bool prev_ok = prev >= 0 && allowed.contains(prev);
   const bool hint_ok = hint >= 0 && allowed.contains(hint);
@@ -113,19 +113,24 @@ hw::CpuId Kernel::place_task(Task& task, hw::CpuId hint) {
 }
 
 void Kernel::enqueue_task(Task& task, hw::CpuId cpu) {
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
+  const auto i = static_cast<std::size_t>(cpu);
   if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) {
     task.state = TaskState::Throttled;
     task.cgroup->park(task);
     return;
   }
+  // A wakeup enqueue is exactly the preemption opportunity the quiet
+  // window assumed away. Exit before anything reads the running task —
+  // the preempt check below compares against its vruntime, which the
+  // replay brings up to date.
+  exit_quiet(cpu);
   task.state = TaskState::Runnable;
   task.enqueued_at = now();
   task.queued_cpu = cpu;
-  core.rq.enqueue(task);
+  rq_[i].enqueue(task);
   refresh_cpu_masks(cpu);
 
-  if (core.current == nullptr) {
+  if (current_[i] == nullptr) {
     dispatch(cpu);
     return;
   }
@@ -133,11 +138,11 @@ void Kernel::enqueue_task(Task& task, hw::CpuId cpu) {
   // (rescheduled to fire immediately) performs the switch. Doing it via
   // the boundary keeps this safe even when the wakeup happens while the
   // running task is mid-action (e.g. it posted the message).
-  Task& running = *core.current;
+  Task& running = *current_[i];
   if (running.vruntime - task.vruntime >
       params_.wakeup_preempt_granularity) {
     charge_running(cpu);
-    core.slice_length = now() - core.slice_started;
+    slice_length_[i] = now() - slice_started_[i];
     // The running task may be mid-action (it might be the waker) with no
     // outstanding cost; its caller reprograms after choosing the next
     // action, and the expired slice then takes effect.
@@ -166,7 +171,7 @@ void Kernel::wake_common(Task& task, SimDuration extra_debt,
   const hw::CpuId cpu = place_task(task, hint);
   if (params_.sleeper_credit) {
     task.vruntime = std::max(
-        task.vruntime, cores_[static_cast<std::size_t>(cpu)].rq.min_vruntime() -
+        task.vruntime, rq_[static_cast<std::size_t>(cpu)].min_vruntime() -
                            params_.sched_latency);
   }
   enqueue_task(task, cpu);
@@ -203,11 +208,11 @@ hw::CpuId Kernel::irq_target(const Task& task) {
 void Kernel::charge_irq(hw::CpuId cpu) {
   ++stats_.irqs;
   notify([&](SchedObserver& o) { o.on_irq(cpu); });
-  auto& core = cores_[static_cast<std::size_t>(cpu)];
-  if (core.current != nullptr) {
+  const auto i = static_cast<std::size_t>(cpu);
+  if (current_[i] != nullptr) {
     // The handler steals time from whatever runs on the interrupted cpu.
     charge_running(cpu);
-    core.current->overhead_debt += costs_->irq_service + costs_->kernel_entry;
+    current_[i]->overhead_debt += costs_->irq_service + costs_->kernel_entry;
     reprogram(cpu);
   }
 }

@@ -67,6 +67,9 @@ struct EngineStats {
   std::int64_t deferred_rearms = 0;  // stale entries re-pushed at new deadline
   std::int64_t reschedules = 0;      // reschedule() calls served in place
   std::int64_t peak_heap = 0;        // high-water mark of pending entries
+  std::int64_t boundaries_batched = 0;  // same-instant peers drained batched
+  std::int64_t boundaries_skipped = 0;  // boundary fires elided by quiet cores
+  std::int64_t quiet_windows = 0;       // quiet-core fast-forwards entered
 };
 
 /// Process-wide totals across every Engine destroyed so far (each engine
@@ -130,6 +133,64 @@ class Engine {
   /// events (tracked entries pay a back-pointer store per heap move).
   EventHandle schedule_tracked(SimDuration delay, Callback fn);
   EventHandle schedule_tracked_at(SimTime when, Callback fn);
+
+  /// Tracked schedule carrying a batch cookie `(domain << 16) | payload`.
+  /// Cookied entries are eligible for pop_batched_peer(): when one fires
+  /// through the normal step() path, the owner can drain its same-instant
+  /// domain peers without paying a callback dispatch each. Domain ids
+  /// come from new_batch_domain(); cookie 0 means "not batchable" (the
+  /// default for the other tracked overloads).
+  EventHandle schedule_tracked_at(SimTime when, std::uint32_t cookie,
+                                  Callback fn);
+
+  /// Allocate a batch-cookie domain id (16-bit, starts at 1 so the
+  /// implicit cookie 0 of un-cookied tracked entries never matches).
+  /// Several kernels can share one engine (sharded fleets); each takes
+  /// its own domain so a sweep never drains a foreign kernel's timers.
+  std::uint32_t new_batch_domain() {
+    PINSIM_CHECK_MSG(next_batch_domain_ < 0xffffu, "batch domains exhausted");
+    return next_batch_domain_++;
+  }
+
+  /// Batched same-instant drain: if the top heap entry is an un-deferred
+  /// tracked entry armed at exactly now() whose cookie belongs to
+  /// `domain`, pop it without dispatching its callback and return the
+  /// cookie's 16-bit payload; otherwise return -1 and leave the heap
+  /// alone. Cancelled matching entries are tombstoned and the scan
+  /// continues. Callers loop until -1, handling each payload inline —
+  /// one at a time, so a handler that cancels or defers a peer's entry
+  /// is observed before that peer is popped, exactly like the
+  /// one-step()-per-fire path this replaces.
+  int pop_batched_peer(std::uint32_t domain) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      if (when_of(top) != now_) return -1;
+      if (!(top.node & kTrackedBit) || (top.node & kDeferredBit)) return -1;
+      const std::uint32_t id = top.node & kNodeIdMask;
+      const std::uint32_t cookie = cookie_[id];
+      if ((cookie >> 16) != domain) return -1;
+      pop_min();
+      if (node(id).cancelled) {
+        ++stats_.tombstone_pops;
+        release_node(id);
+        continue;
+      }
+      // A batched pop is a real fire for accounting purposes — the
+      // owner runs the same handler the callback would have run.
+      ++stats_.fired;
+      ++stats_.boundaries_batched;
+      release_node(id);
+      return static_cast<int>(cookie & 0xffffu);
+    }
+    return -1;
+  }
+
+  /// Quiet-core fast-forward accounting (the counters live here so
+  /// aggregate_engine_stats() folds them with everything else).
+  void note_boundaries_skipped(std::int64_t n) {
+    stats_.boundaries_skipped += n;
+  }
+  void note_quiet_window() { ++stats_.quiet_windows; }
 
   /// Move a pending event's deadline to `when` (>= now()) without
   /// cancelling it — the callback is untouched. The handle must come
@@ -301,11 +362,15 @@ class Engine {
     sift_up(heap_.size() - 1);
     return slot;
   }
-  std::uint32_t push_event_tracked(SimTime when, Callback&& fn) {
+  std::uint32_t push_event_tracked(SimTime when, Callback&& fn,
+                                   std::uint32_t cookie = 0) {
     const std::uint32_t slot = acquire_node();
     Node& n = node(slot);
     n.fn = std::move(fn);
     n.tracked = true;
+    // Unconditional store: a recycled node may carry a previous tenant's
+    // cookie, and pop_batched_peer() must never match a stale one.
+    cookie_[slot] = cookie;
     heap_.push_back(Entry{make_key(when, next_seq_++), slot | kTrackedBit});
     sift_up(heap_.size() - 1);
     return slot;
@@ -355,6 +420,9 @@ class Engine {
   std::vector<std::uint32_t> slot_of_;
   /// node id -> deferred re-arm key (valid while the entry is tagged).
   std::vector<Deferred> deferred_;
+  /// node id -> batch cookie, written on every tracked push (0 = none).
+  std::vector<std::uint32_t> cookie_;
+  std::uint32_t next_batch_domain_ = 1;
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::uint32_t node_count_ = 0;
   std::vector<std::uint32_t> free_nodes_;
@@ -407,6 +475,16 @@ inline EventHandle Engine::schedule_tracked_at(SimTime when, Callback fn) {
                    "event scheduled before now (" << when << " < " << now_
                                                   << ")");
   const std::uint32_t slot = push_event_tracked(when, std::move(fn));
+  return EventHandle(this, slot, node(slot).gen);
+}
+
+inline EventHandle Engine::schedule_tracked_at(SimTime when,
+                                               std::uint32_t cookie,
+                                               Callback fn) {
+  PINSIM_CHECK_MSG(when >= now_,
+                   "event scheduled before now (" << when << " < " << now_
+                                                  << ")");
+  const std::uint32_t slot = push_event_tracked(when, std::move(fn), cookie);
   return EventHandle(this, slot, node(slot).gen);
 }
 

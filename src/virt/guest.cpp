@@ -28,6 +28,9 @@ void GuestKernel::attach_vcpu_task(int vcpu, os::Task& host_task) {
 }
 
 os::Cgroup& GuestKernel::create_cgroup(os::Cgroup::Config config) {
+  // A cgroup makes future ticks do aggregation work; revoke while the
+  // group list is still empty so the replayed ticks stay no-ops.
+  exit_guest_quiet();
   if (!config.cpuset.empty()) {
     PINSIM_CHECK_MSG(config.cpuset.subset_of(hw::CpuSet::first_n(vcpus())),
                      "guest cgroup cpuset outside vCPU range");
@@ -171,6 +174,10 @@ void GuestKernel::enqueue_task(os::Task& task, int vcpu) {
     task.cgroup->park(task);
     return;
   }
+  // Queued work ends the quiet window: the next tick would no longer be
+  // a no-op (idle-vCPU balance can act on a non-empty runqueue). Revoke
+  // before the enqueue so the replayed ticks still see empty queues.
+  exit_guest_quiet();
   auto& v = vcpus_[static_cast<std::size_t>(vcpu)];
   task.state = os::TaskState::Runnable;
   task.enqueued_at = host_->engine().now();
@@ -466,6 +473,12 @@ void GuestKernel::finish_task(os::Task& task) {
   task.state = os::TaskState::Finished;
   task.stats.finished_at = host_->engine().now();
   --live_tasks_;
+  // Record (don't revoke): the old path's next tick would idle-stop
+  // here, but a task starting before it would keep the cadence alive —
+  // exit_guest_quiet resolves which happened when the window ends.
+  if (guest_quiet_ && live_tasks_ == 0) {
+    guest_quiet_idle_at_ = host_->engine().now();
+  }
   auto& on_exit = on_exit_[static_cast<std::size_t>(task.id())];
   if (on_exit) on_exit(task);
 }
@@ -655,7 +668,67 @@ void GuestKernel::housekeeping_tick() {
       }
     }
   }
+  if (config_.params.quiet_fast_forward && cgroups_.empty() &&
+      all_runqueues_empty()) {
+    // Quiet guest: every vCPU is either halted or running its only
+    // task, so each following tick is a pure no-op — balance and the
+    // surplus rotation both need a non-empty runqueue and there are no
+    // cgroups to aggregate. Skip them: leave the timer dead and replay
+    // the tick counter on revocation.
+    guest_quiet_ = true;
+    guest_quiet_entered_ = host_->engine().now();
+    guest_quiet_idle_at_ = -1;
+    host_->engine().note_quiet_window();
+    return;
+  }
   arm_housekeeping(costs.cgroup_aggregate_interval);
+}
+
+bool GuestKernel::all_runqueues_empty() const {
+  for (const auto& v : vcpus_) {
+    if (!v.rq.empty()) return false;
+  }
+  return true;
+}
+
+void GuestKernel::exit_guest_quiet() {
+  if (!guest_quiet_) return;
+  guest_quiet_ = false;
+  sim::Engine& engine = host_->engine();
+  PINSIM_CHECK_MSG(cgroups_.empty(), "quiet guest grew a cgroup");
+  PINSIM_CHECK_MSG(all_runqueues_empty(), "quiet guest acquired queued work");
+  const SimDuration interval = host_->costs().cgroup_aggregate_interval;
+  // Ticks strictly before t on the suspended cadence; each was a no-op
+  // whose only effect was ++housekeeping_ticks_ (the %8 rotation phase
+  // must stay aligned).
+  auto ticks_before = [&](SimTime t) -> std::int64_t {
+    const SimDuration d = t - guest_quiet_entered_;
+    return d == 0 ? 0 : (d - 1) / interval;
+  };
+  if (guest_quiet_idle_at_ >= 0) {
+    // The fleet drained mid-window. The first tick after that instant
+    // would have found live_tasks_ == 0 and idle-stopped; if it lies in
+    // the past, emulate the stop so a starting task re-arms from
+    // scratch through ensure_housekeeping (fresh cadence, as the old
+    // path would).
+    const SimTime stop_tick =
+        guest_quiet_entered_ +
+        (ticks_before(guest_quiet_idle_at_) + 1) * interval;
+    guest_quiet_idle_at_ = -1;
+    if (stop_tick <= engine.now()) {
+      const std::int64_t skipped = ticks_before(stop_tick);
+      housekeeping_ticks_ += skipped;
+      engine.note_boundaries_skipped(skipped);
+      housekeeping_active_ = false;
+      if (live_tasks_ > 0) ensure_housekeeping();
+      return;
+    }
+  }
+  const std::int64_t skipped = ticks_before(engine.now());
+  housekeeping_ticks_ += skipped;
+  engine.note_boundaries_skipped(skipped);
+  arm_housekeeping(guest_quiet_entered_ + (skipped + 1) * interval -
+                   engine.now());
 }
 
 }  // namespace pinsim::virt

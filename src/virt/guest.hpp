@@ -150,6 +150,12 @@ class GuestKernel {
   /// an in-place move otherwise — same mechanism as the host kernel's
   /// boundary timers).
   void arm_housekeeping(SimDuration delay);
+  /// Revoke a quiet housekeeping window: replay the skipped no-op ticks
+  /// (counter only — each would have found empty runqueues and no
+  /// cgroups) and re-arm the timer on the original cadence, or emulate
+  /// the idle-stop if the fleet drained mid-window.
+  void exit_guest_quiet();
+  bool all_runqueues_empty() const;
   /// Guest periodic load balance: push queued work to halted vCPUs (the
   /// guest's timer-tick balancing; without it an HLT'd vCPU would sleep
   /// through imbalance forever).
@@ -170,6 +176,16 @@ class GuestKernel {
   bool housekeeping_active_ = false;
   sim::EventHandle housekeeping_;
   std::int64_t housekeeping_ticks_ = 0;
+  /// Quiet housekeeping window: set when a tick found no queued work and
+  /// no cgroups (so every following tick is a pure no-op) and declined
+  /// to re-arm. The guest stays AoS per-vCPU — unlike the host there is
+  /// no same-instant multi-core boundary sweep to batch, only the single
+  /// shared housekeeping timer to fast-forward.
+  bool guest_quiet_ = false;
+  SimTime guest_quiet_entered_ = 0;
+  /// When live_tasks_ hit 0 inside a quiet window (-1 otherwise); the
+  /// old path's next tick would have idle-stopped there.
+  SimTime guest_quiet_idle_at_ = -1;
   int live_tasks_ = 0;
   GuestStats stats_;
 };

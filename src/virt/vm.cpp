@@ -36,17 +36,20 @@ class VcpuDriver final : public os::TaskDriver {
   bool outstanding_ = false;
 };
 
-GuestKernel::Config guest_config(const Host& host, const PlatformSpec& spec) {
+GuestKernel::Config guest_config(const Host& host, const PlatformSpec& spec,
+                                 const VmConfig& vm_config) {
   GuestKernel::Config config;
   config.vcpus = spec.instance.cores;
   config.compute_inflation = host.costs().guest_compute_inflation;
+  config.params = vm_config.guest_params;
   return config;
 }
 
 }  // namespace
 
 VmPlatform::VmPlatform(Host& host, PlatformSpec spec, VmConfig vm_config)
-    : Platform(host, std::move(spec)), guest_(host, guest_config(host, spec_)) {
+    : Platform(host, std::move(spec)),
+      guest_(host, guest_config(host, spec_, vm_config)) {
   PINSIM_CHECK(spec_.kind == PlatformKind::Vm ||
                spec_.kind == PlatformKind::VmContainer);
   PINSIM_CHECK_MSG(spec_.instance.cores <= host.topology().num_cpus(),

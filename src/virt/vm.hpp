@@ -19,6 +19,9 @@ struct VmConfig {
   /// Hot guest state a vCPU thread drags along when the host migrates
   /// it (guest kernel + the share of the app working set it runs).
   double vcpu_working_set_mb = 16.0;
+  /// Guest scheduler parameters (tests toggle quiet_fast_forward here
+  /// to run the guest's skip-free path against the fast-forward one).
+  os::SchedParams guest_params;
 };
 
 class VmPlatform : public Platform {

@@ -1,0 +1,273 @@
+// Quiet-core fast-forward oracle.
+//
+// The fast-forward path (SchedParams::quiet_fast_forward) elides
+// quantum-boundary timers on cores whose single runnable task cannot be
+// preempted before its next real event, replaying the skipped
+// bookkeeping on revocation. The claim is that this is invisible: the
+// simulation behaves bit-identically with the optimization on or off.
+// This suite fuzzes that claim — randomized mixes of long computes
+// (which open quiet windows), sleeps and IO (whose wakeups revoke them
+// mid-window), weights, affinity, NUMA homes and quota cgroups (which
+// must be rejected by the quiet predicate) — and requires the two paths
+// to produce identical observer event histories and task accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hw/disk.hpp"
+#include "hw/topology.hpp"
+#include "os/kernel.hpp"
+#include "sim/engine.hpp"
+#include "virt/factory.hpp"
+#include "virt/vm.hpp"
+
+namespace pinsim::os {
+namespace {
+
+/// Records every scheduler callback as one formatted line; two runs are
+/// equivalent iff their traces match line for line.
+struct TraceRecorder : SchedObserver {
+  std::vector<std::string> lines;
+  sim::Engine* engine = nullptr;
+
+  void emit(const std::ostringstream& out) { lines.push_back(out.str()); }
+  void on_slice(const Task& task, int cpu, SimDuration duration) override {
+    std::ostringstream out;
+    out << engine->now() << " slice " << task.name() << " cpu=" << cpu
+        << " dur=" << duration;
+    emit(out);
+  }
+  void off_cpu(const Task& task, SimDuration duration) override {
+    std::ostringstream out;
+    out << engine->now() << " wake " << task.name() << " blocked=" << duration;
+    emit(out);
+  }
+  void on_migration(const Task& task, int from, int to,
+                    SimDuration penalty) override {
+    std::ostringstream out;
+    out << engine->now() << " migrate " << task.name() << " " << from << "->"
+        << to << " penalty=" << penalty;
+    emit(out);
+  }
+  void on_context_switch(int cpu) override {
+    std::ostringstream out;
+    out << engine->now() << " switch cpu=" << cpu;
+    emit(out);
+  }
+  void on_irq(int cpu) override {
+    std::ostringstream out;
+    out << engine->now() << " irq cpu=" << cpu;
+    emit(out);
+  }
+  void on_throttle(const Cgroup& group) override {
+    std::ostringstream out;
+    out << engine->now() << " throttle " << group.name();
+    emit(out);
+  }
+  void on_aggregation(const Cgroup& group, int spread,
+                      SimDuration cost) override {
+    std::ostringstream out;
+    out << engine->now() << " aggregate " << group.name()
+        << " spread=" << spread << " cost=" << cost;
+    emit(out);
+  }
+};
+
+/// Compute/sleep/io loop with per-task randomized phase lengths. Long
+/// computes on a lightly loaded core are exactly what opens quiet
+/// windows; the sleep and IO returns land mid-window and revoke them.
+std::unique_ptr<TaskDriver> fuzz_loop(hw::IoDevice& disk, Rng& rng) {
+  const int iterations = 3 + static_cast<int>(rng.uniform_int(0, 5));
+  const SimDuration work =
+      usec(500) + usec(1000) * rng.uniform_int(0, 60);  // up to ~60ms
+  const SimDuration nap = usec(100) * (1 + rng.uniform_int(0, 40));
+  const int flavour = static_cast<int>(rng.uniform_int(0, 2));
+  auto n = std::make_shared<int>(0);
+  auto phase = std::make_shared<int>(0);
+  return std::make_unique<LambdaDriver>(
+      [&disk, n, phase, work, nap, iterations, flavour](Task&) {
+        if (*n >= iterations) return Action::exit();
+        if ((*phase)++ % 2 == 0) return Action::compute(work);
+        ++*n;
+        switch (flavour) {
+          case 0:
+            return Action::sleep_for(nap);
+          case 1:
+            return Action::io(disk, hw::IoRequest{hw::IoKind::Read, 4.0});
+          default:
+            return Action::compute(work / 3);
+        }
+      });
+}
+
+struct RunResult {
+  std::vector<std::string> trace;
+  std::vector<std::string> accounting;
+  SimTime makespan = 0;
+  std::int64_t quiet_windows = 0;
+  std::int64_t boundaries_skipped = 0;
+};
+
+/// One full randomized run; everything random is derived from `seed`
+/// only, so two calls with the same seed differ solely in the
+/// quiet_fast_forward flag.
+RunResult run_once(std::uint64_t seed, bool quiet_fast_forward) {
+  sim::Engine engine;
+  const hw::Topology topo(2, 4, 1, 16.0);
+  hw::CostModel costs;
+  SchedParams params;
+  params.quiet_fast_forward = quiet_fast_forward;
+  Kernel kernel(engine, topo, costs, Rng(seed), params);
+  hw::IoDevice disk = hw::IoDevice::raid1_hdd(engine, Rng(seed + 1));
+  TraceRecorder recorder;
+  recorder.engine = &engine;
+  kernel.add_observer(recorder);
+
+  Rng rng(seed * 2654435761u + 17);
+  Cgroup& group = kernel.create_cgroup({"fz", 1.5, {}});
+  const int tasks = 6 + static_cast<int>(rng.uniform_int(0, 8));
+  for (int i = 0; i < tasks; ++i) {
+    TaskConfig config;
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind < 2) {
+      config.cgroup = &group;  // must never be admitted to a window
+    } else if (kind < 4) {
+      config.weight = 2.0;  // rejected by the weight==1 guard
+    } else if (kind < 6) {
+      config.affinity = hw::CpuSet::of(
+          {static_cast<int>(rng.uniform_int(0, topo.num_cpus() - 1))});
+    } else if (kind < 8) {
+      config.numa_home = std::make_shared<int>(
+          static_cast<int>(rng.uniform_int(0, topo.sockets() - 1)));
+    }
+    // Built with += rather than operator+ to dodge a GCC 12 -Wrestrict
+    // false positive (PR 105329) at -O2.
+    std::string name = "f";
+    name += std::to_string(i);
+    kernel.start_task(
+        kernel.create_task(std::move(name), fuzz_loop(disk, rng), config));
+  }
+  EXPECT_TRUE(kernel.run_until_quiescent(sec(600)));
+
+  RunResult result;
+  result.trace = std::move(recorder.lines);
+  result.makespan = engine.now();
+  result.quiet_windows = engine.stats().quiet_windows;
+  result.boundaries_skipped = engine.stats().boundaries_skipped;
+  for (const auto& task : kernel.tasks()) {
+    const auto& s = task->stats;
+    std::ostringstream out;
+    out << task->name() << " cpu=" << s.cpu_time << " wait=" << s.wait_time
+        << " block=" << s.block_time << " wakeups=" << s.wakeups
+        << " done=" << s.finished_at;
+    result.accounting.push_back(out.str());
+  }
+  const KernelStats& ks = kernel.stats();
+  std::ostringstream out;
+  out << "switches=" << ks.context_switches << " migrations=" << ks.migrations
+      << " wakeups=" << ks.wakeups << " preempt=" << ks.preemptions
+      << " steals=" << ks.steals << " balance=" << ks.balance_moves
+      << " throttle=" << ks.throttle_events;
+  result.accounting.push_back(out.str());
+  return result;
+}
+
+void expect_same(const RunResult& on, const RunResult& off,
+                 std::uint64_t seed) {
+  EXPECT_EQ(on.makespan, off.makespan) << "seed " << seed;
+  ASSERT_EQ(on.trace.size(), off.trace.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < on.trace.size(); ++i) {
+    ASSERT_EQ(on.trace[i], off.trace[i]) << "seed " << seed << " event " << i;
+  }
+  ASSERT_EQ(on.accounting, off.accounting) << "seed " << seed;
+}
+
+class BoundaryFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundaryFuzzTest, FastForwardMatchesSkipFreePath) {
+  const std::uint64_t seed = GetParam();
+  const RunResult on = run_once(seed, true);
+  const RunResult off = run_once(seed, false);
+  expect_same(on, off, seed);
+  // The oracle must actually exercise the optimization: every seed's
+  // mix includes multi-slice computes, so windows open and the wakeups
+  // revoke at least some of them.
+  EXPECT_GT(on.quiet_windows, 0) << "seed " << seed;
+  EXPECT_GT(on.boundaries_skipped, 0) << "seed " << seed;
+  EXPECT_EQ(off.quiet_windows, 0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, BoundaryFuzzTest,
+                         ::testing::Values(1u, 7u, 23u, 99u, 424u, 1013u,
+                                           5150u, 90210u));
+
+// --- guest layer -------------------------------------------------------------
+//
+// The guest kernel fast-forwards its single housekeeping timer with the
+// same flag; the oracle here compares guest+host task accounting across
+// a randomized VM workload (the guest has no observer interface, but
+// any divergence in tick replay shifts charge timing and shows up in
+// the per-task numbers and the makespan).
+
+struct GuestRun {
+  std::vector<std::string> accounting;
+  SimTime makespan = 0;
+};
+
+GuestRun guest_run_once(std::uint64_t seed, bool quiet_fast_forward) {
+  virt::PlatformSpec spec{virt::PlatformKind::Vm, virt::CpuMode::Pinned,
+                          virt::instance_by_name("Large")};
+  virt::Host host(hw::Topology(2, 4, 1, 16.0), hw::CostModel{}, seed);
+  virt::VmConfig vm_config;
+  vm_config.guest_params.quiet_fast_forward = quiet_fast_forward;
+  virt::VmPlatform platform(host, spec, vm_config);
+
+  Rng rng(seed * 40503u + 5);
+  int done = 0;
+  const int tasks = 3 + static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < tasks; ++i) {
+    virt::WorkTaskConfig config;
+    config.name = "g";  // += dodges the GCC 12 -Wrestrict false positive
+    config.name += std::to_string(i);
+    config.on_exit = [&done](Task&) { ++done; };
+    Task& task =
+        platform.spawn(std::move(config), fuzz_loop(host.disk(), rng));
+    platform.start(task);
+  }
+  host.engine().run_until([&] { return done == tasks; }, sec(600));
+  EXPECT_EQ(done, tasks);
+
+  GuestRun result;
+  result.makespan = host.engine().now();
+  auto record = [&result](const Task& task) {
+    const auto& s = task.stats;
+    std::ostringstream out;
+    out << task.name() << " cpu=" << s.cpu_time << " wait=" << s.wait_time
+        << " block=" << s.block_time << " wakeups=" << s.wakeups
+        << " done=" << s.finished_at;
+    result.accounting.push_back(out.str());
+  };
+  for (const auto& task : platform.guest().tasks()) record(*task);
+  for (const auto& task : host.kernel().tasks()) record(*task);
+  return result;
+}
+
+class GuestBoundaryFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GuestBoundaryFuzzTest, GuestFastForwardMatchesSkipFreePath) {
+  const std::uint64_t seed = GetParam();
+  const GuestRun on = guest_run_once(seed, true);
+  const GuestRun off = guest_run_once(seed, false);
+  EXPECT_EQ(on.makespan, off.makespan) << "seed " << seed;
+  ASSERT_EQ(on.accounting, off.accounting) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, GuestBoundaryFuzzTest,
+                         ::testing::Values(2u, 11u, 77u, 303u));
+
+}  // namespace
+}  // namespace pinsim::os

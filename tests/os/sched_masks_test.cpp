@@ -26,9 +26,9 @@ struct SchedBenchAccess {
     std::vector<hw::CpuSet> idle_socket(
         static_cast<std::size_t>(topo.sockets()));
     for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
-      const auto& core = kernel.cores_[static_cast<std::size_t>(cpu)];
-      if (core.current != nullptr) busy.add(cpu);
-      if (core.current == nullptr && core.rq.empty()) {
+      const auto i = static_cast<std::size_t>(cpu);
+      if (kernel.current_[i] != nullptr) busy.add(cpu);
+      if (kernel.current_[i] == nullptr && kernel.rq_[i].empty()) {
         idle.add(cpu);
         idle_socket[static_cast<std::size_t>(topo.socket_of(cpu))].add(cpu);
       }

@@ -1,0 +1,29 @@
+// Fixture: arming or moving the kernel's quantum-boundary timer outside
+// its owner (os/kernel.cpp's arm_boundary helper and batched sweep).
+// Analyzed as if at src/virt/fixture_boundary_timer_bad.cpp (not an
+// owner) and at src/os/kernel.cpp (the owner, where the same code is
+// legal). Uses reschedule()+schedule_tracked_at() only, so the
+// engine-api bare-schedule rule stays silent.
+#include <cstdint>
+
+namespace fixture {
+
+struct Engine {
+  bool reschedule(int& handle, long when);
+  int schedule_tracked_at(long when, std::uint32_t cookie, void (*fn)());
+};
+
+struct Poker {
+  Engine* engine_;
+  int boundary_;
+
+  void move(long when) {
+    engine_->reschedule(boundary_, when);  // expect: index-safety
+  }
+  void arm(long when) {
+    boundary_ = engine_->schedule_tracked_at(  // expect: index-safety
+        when, 7u, nullptr);
+  }
+};
+
+}  // namespace fixture

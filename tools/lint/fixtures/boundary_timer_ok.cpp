@@ -1,0 +1,33 @@
+// Fixture: uses of the guarded timer name the rule must NOT flag
+// outside the owning file. Analyzed as if under src/virt/.
+#include <cstdint>
+
+namespace fixture {
+
+struct Engine {
+  bool reschedule(int& handle, long when);
+  int schedule_tracked_at(long when, std::uint32_t cookie, void (*fn)());
+};
+
+struct Reader {
+  Engine* engine_;
+  int boundary_;
+  int other_timer_;
+
+  // Reads of the handle (no arming) are fine anywhere.
+  bool armed() const { return boundary_ >= 0; }
+
+  // Scheduling unrelated timers is fine.
+  void arm_other(long when) {
+    other_timer_ = engine_->schedule_tracked_at(when, 3u, nullptr);
+    engine_->reschedule(other_timer_, when);
+  }
+
+  // Annotated direct arming is allowed (deliberate, reviewed exception).
+  void blessed(long when) {
+    engine_->reschedule(  // pinsim-lint: allow(index-safety)
+        boundary_, when);
+  }
+};
+
+}  // namespace fixture

@@ -78,6 +78,18 @@ struct Config {
   };
   std::vector<GuardedIndex> guarded_indexes;
 
+  /// A persistent timer handle whose arming discipline one file owns
+  /// (e.g. the kernel's quantum-boundary timers: only arm_boundary may
+  /// schedule or move them, or the batched sweep's cookie/pending
+  /// invariants break). Passing the name to schedule*()/reschedule(),
+  /// or assigning their result into it, anywhere else is an
+  /// index-safety finding.
+  struct GuardedTimer {
+    std::string name;
+    std::vector<std::string> owners;
+  };
+  std::vector<GuardedTimer> guarded_timers;
+
   /// Paths exempt from the engine-api rule (the engine itself, which
   /// defines schedule()/reschedule(), and tests that exercise both).
   std::vector<std::string> engine_api_exempt;

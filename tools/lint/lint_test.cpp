@@ -160,6 +160,22 @@ TEST(LintIndexSafety, SilentOnReadsLambdasAndAnnotated) {
                  "src/os/fixture_index_safety_ok.cpp", {});
 }
 
+// --- guarded timers (index-safety group) ----------------------------------
+
+TEST(LintGuardedTimer, FlagsArmingBoundaryTimersOutsideOwner) {
+  expect_markers("boundary_timer_bad.cpp",
+                 "src/virt/fixture_boundary_timer_bad.cpp");
+}
+
+TEST(LintGuardedTimer, OwnerFileMayArmItsOwnTimer) {
+  expect_exactly("boundary_timer_bad.cpp", "src/os/kernel.cpp", {});
+}
+
+TEST(LintGuardedTimer, SilentOnReadsOtherTimersAndAnnotated) {
+  expect_exactly("boundary_timer_ok.cpp",
+                 "src/virt/fixture_boundary_timer_ok.cpp", {});
+}
+
 // --- engine-api -----------------------------------------------------------
 
 TEST(LintEngineApi, FlagsBareScheduleNextToReschedule) {
