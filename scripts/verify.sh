@@ -30,7 +30,9 @@
 #    and BENCH_hotloop_latest.json (quiet-core fast-forward +
 #    boundary batching, tracked by BENCH_hotloop.json) — all
 #    gitignored; diff against the committed BENCH_*.json snapshots
-#    when touching hot paths.
+#    when touching hot paths. The tier-1 stage also archives the lint
+#    report (findings + per-rule counts + scan wall time) to the
+#    gitignored LINT_latest.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +41,12 @@ echo "== tier-1: configure + build + ctest (warnings are errors) =="
 cmake -B build -S . -DPINSIM_WERROR=ON
 cmake --build build -j
 (cd build && ctest --output-on-failure -j --timeout 300)
+
+echo "== lint report (LINT_latest.json) =="
+# Archive the machine-readable lint report (findings, per-rule counts,
+# scan wall time) next to the BENCH_*_latest.json artifacts. The tree
+# is expected clean — findings fail this stage like a test failure.
+./build/tools/lint/pinsim_lint --root . --json > LINT_latest.json
 
 if [[ "${PINSIM_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== tier-1 under ASan+UBSan =="

@@ -133,6 +133,8 @@ struct FleetHostReport {
   std::int64_t served = 0;
 };
 
+// Front-end state: shard-0-owned (see LoadBalancer).
+// pinsim-lint: shard-owner(0)
 struct ClusterResult {
   std::vector<RequestRecord> trace;
   std::int64_t dispatched = 0;

@@ -37,6 +37,8 @@ struct SloSummary {
   double max_seconds = 0.0;
 };
 
+// Front-end state: shard-0-owned (see LoadBalancer).
+// pinsim-lint: shard-owner(0)
 class SloTracker {
  public:
   explicit SloTracker(SloConfig config);

@@ -83,6 +83,9 @@ Task& Kernel::create_task(std::string name,
   tasks_.push_back(
       std::make_unique<Task>(id, std::move(name), std::move(driver)));
   Task& task = *tasks_.back();
+  // Every queue could in the worst case hold every task; pre-sizing
+  // here keeps Runqueue::enqueue allocation-free on the hot path.
+  for (Runqueue& rq : rq_) rq.reserve(tasks_.size());
   task.affinity = config.affinity;
   if (!task.affinity.empty()) {
     PINSIM_CHECK_MSG(!(task.affinity & topology_->all_cpus()).empty(),
@@ -166,6 +169,10 @@ hw::CpuId Kernel::cpu_of_running(const Task& task) const {
   return cpu;
 }
 
+// A quiet cpu always has a running task, so dispatch (which requires
+// current_ == nullptr) can never observe an open quiet window: every
+// revocation path exits it before clearing current_.
+// pinsim-lint: quiet-mutator
 void Kernel::dispatch(hw::CpuId cpu) {
   const auto i = static_cast<std::size_t>(cpu);
   PINSIM_CHECK(current_[i] == nullptr);
@@ -244,6 +251,9 @@ void Kernel::dispatch(hw::CpuId cpu) {
   reprogram(cpu);
 }
 
+// Calls the funnel first; everything downstream (charge_up_to) then
+// runs with the quiet window closed.
+// pinsim-lint: quiet-mutator
 void Kernel::charge_running(hw::CpuId cpu) {
   exit_quiet(cpu);
   charge_up_to(cpu, now());
@@ -352,6 +362,9 @@ void Kernel::arm_boundary(hw::CpuId cpu, SimDuration delay) {
       [this, cpu] { on_boundary(cpu); });
 }
 
+// The quiet-window ENTRY point: reprogram is where quiet_ flips on.
+// The CHECK below proves no window is already open when it runs.
+// pinsim-lint: quiet-mutator
 void Kernel::reprogram(hw::CpuId cpu) {
   const auto i = static_cast<std::size_t>(cpu);
   PINSIM_CHECK_MSG(!quiet_[i], "reprogram on a quiet core");
@@ -402,6 +415,10 @@ void Kernel::reprogram(hw::CpuId cpu) {
   arm_boundary(cpu, next);
 }
 
+// The single most-fired callback in the simulator (every slice
+// boundary on every cpu lands here), so the whole reachable cone is
+// held to the hot-path allocation rules.
+// pinsim-lint: hot
 void Kernel::on_boundary(hw::CpuId cpu) {
   handle_boundary(cpu);
   // Drain every same-instant peer boundary of this kernel without
@@ -414,6 +431,11 @@ void Kernel::on_boundary(hw::CpuId cpu) {
   }
 }
 
+// A real boundary fire means the window already lapsed; charge_running
+// (below) exits it before any slice bookkeeping is rewritten. The
+// quiet_burned_ reset ahead of that call is the one write that happens
+// first, and it only re-enables future quiet entry.
+// pinsim-lint: quiet-mutator
 void Kernel::handle_boundary(hw::CpuId cpu) {
   const auto i = static_cast<std::size_t>(cpu);
   Task* task = current_[i];

@@ -112,6 +112,10 @@ hw::CpuId Kernel::place_task(Task& task, hw::CpuId hint) {
   return allowed.first();
 }
 
+// Exits the quiet window (see the comment at the exit_quiet call)
+// before the enqueue; the wakeup-preemption slice rewrite at the
+// bottom therefore runs with the window closed.
+// pinsim-lint: quiet-mutator
 void Kernel::enqueue_task(Task& task, hw::CpuId cpu) {
   const auto i = static_cast<std::size_t>(cpu);
   if (task.cgroup != nullptr && task.cgroup->throttled_on(cpu)) {

@@ -38,6 +38,7 @@ void Runqueue::sift_down(std::size_t index) {
   place(index, moving);
 }
 
+// pinsim-lint: hot
 void Runqueue::enqueue(Task& task) {
   PINSIM_CHECK_MSG(!contains(task),
                    "task " << task.name() << " enqueued twice");
@@ -71,6 +72,7 @@ Task* Runqueue::peek_min() const {
   return heap_.front().task;
 }
 
+// pinsim-lint: hot
 Task& Runqueue::pop_min() {
   PINSIM_CHECK(!heap_.empty());
   Task& task = *heap_.front().task;

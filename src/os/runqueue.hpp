@@ -26,6 +26,11 @@ class Runqueue {
   void remove(Task& task);
   bool contains(const Task& task) const;
 
+  /// Pre-size the heap so enqueue never reallocates on the hot path.
+  /// The kernel calls this as tasks are created: n = total task count
+  /// is a safe upper bound for any single queue.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   /// Task with the smallest vruntime, or nullptr when empty.
   Task* peek_min() const;
   /// Remove and return the minimum-vruntime task; requires non-empty.

@@ -161,6 +161,7 @@ class Engine {
   /// one at a time, so a handler that cancels or defers a peer's entry
   /// is observed before that peer is popped, exactly like the
   /// one-step()-per-fire path this replaces.
+  // pinsim-lint: hot
   int pop_batched_peer(std::uint32_t domain) {
     while (!heap_.empty()) {
       const Entry top = heap_.front();

@@ -1,0 +1,37 @@
+// Hot-path fixture, clean tree: reserved containers, pool draws, cold
+// helpers that are never called from the hot cone, and an explicitly
+// allow()ed amortized growth site.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  std::vector<int> slab_;
+  std::vector<int> free_;
+
+  void grow() {
+    // Amortized cold growth, sanctioned:
+    // pinsim-lint: allow(hot-path)
+    slab_.push_back(0);
+    free_.reserve(slab_.size());
+  }
+
+  // pinsim-lint: hot
+  int draw() {
+    if (free_.empty()) grow();
+    const int id = free_.back();
+    free_.pop_back();
+    return id;
+  }
+
+  // pinsim-lint: hot
+  void put(int id) {
+    free_.push_back(id);  // reserve()d in grow(): exempt
+  }
+};
+
+// Allocates, but nothing hot reaches it.
+std::unique_ptr<int> make_config() { return std::make_unique<int>(1); }
+
+}  // namespace fixture

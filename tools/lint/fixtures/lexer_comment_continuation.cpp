@@ -1,0 +1,7 @@
+// A backslash-continued line comment swallows its continuation: \
+   time(nullptr) and rand() on this physical line are commentary.
+long f() { return 1; }
+// pinsim-lint: allow(determinism) \
+   (the whole-line allow must attach past the continuation)
+long g() { return time(nullptr); }
+long h() { return time(nullptr); }  // expect: determinism

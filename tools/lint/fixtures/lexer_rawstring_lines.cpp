@@ -1,0 +1,7 @@
+// Multi-line raw strings: the literal's token anchors on its start
+// line, and the closing line still counts as code — so a trailing
+// comment there is same-line only, not a whole-line suppression that
+// would leak onto the next line.
+const char* banner = R"(line one
+line two)";  // pinsim-lint: allow(determinism)
+long leak() { return time(nullptr); }  // expect: determinism

@@ -1,0 +1,33 @@
+// Quiet-funnel fixture: an entry-point function writes quiet-window
+// state without passing through exit_quiet(), and a stale
+// quiet-mutator annotation (no writes, no funnel call) is itself a
+// finding. The helper reachable ONLY through the funnel stays clean.
+namespace fixture {
+
+struct Kernel {
+  int quiet_[4] = {};
+  int charged_until_[4] = {};
+  int slice_started_[4] = {};
+
+  void exit_quiet(int cpu) {
+    quiet_[cpu] = 0;  // the funnel writes freely
+    settle(cpu);
+  }
+
+  void settle(int cpu) {
+    charged_until_[cpu] = 1;  // only reachable through the funnel: clean
+  }
+
+  void tick(int cpu) {
+    quiet_[cpu] = 1;  // expect: quiet-funnel
+    exit_quiet(cpu);
+    slice_started_[cpu] += 2;  // expect: quiet-funnel
+  }
+
+  // pinsim-lint: quiet-mutator
+  void bystander(int cpu) {  // expect: quiet-funnel
+    (void)cpu;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Quiet-funnel fixture, clean tree: the funnel and its downstream
+// helper write freely, and an audited quiet-mutator (which calls the
+// funnel before writing) is accepted without being stale.
+namespace fixture {
+
+struct Kernel {
+  int quiet_[4] = {};
+  int slice_length_[4] = {};
+
+  void exit_quiet(int cpu) {
+    quiet_[cpu] = 0;
+    charge(cpu);
+  }
+
+  void charge(int cpu) {
+    slice_length_[cpu] = 1;  // downstream of the funnel only
+  }
+
+  // pinsim-lint: quiet-mutator
+  void wake(int cpu) {
+    exit_quiet(cpu);
+    quiet_[cpu] = 2;  // audited: the window was closed just above
+  }
+
+  void outside(int cpu) { wake(cpu); }
+};
+
+}  // namespace fixture

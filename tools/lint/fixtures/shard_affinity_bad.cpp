@@ -1,0 +1,35 @@
+// Shard-affinity fixture: a lambda posted to a non-zero shard touches
+// shard-0-owned state both directly (a bound variable of an owned
+// type, and a resolved call into an owned method) and transitively
+// (a reached function whose body touches an owned member).
+namespace fixture {
+
+// pinsim-lint: shard-owner(0)
+struct Balancer {
+  int outstanding = 0;
+  void add(int delta) { outstanding += delta; }
+};
+
+struct Net {
+  template <typename Fn>
+  void post(int src, int dst, int delay, Fn&& fn);
+};
+
+struct Fleet {
+  Balancer balancer_;
+  Net net_;
+
+  void record() {
+    balancer_.add(1);  // expect: shard-affinity
+  }
+
+  void run() {
+    Balancer* lb = &balancer_;
+    net_.post(0, 3, 1, [lb, this] {
+      lb->add(1);  // expect: shard-affinity
+      record();
+    });
+  }
+};
+
+}  // namespace fixture

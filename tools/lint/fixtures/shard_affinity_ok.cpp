@@ -1,0 +1,44 @@
+// Shard-affinity fixture, clean tree: a post whose destination is the
+// literal 0 runs ON shard 0 and may touch owned state; a cross-shard
+// lambda may reach owned state by posting back through the mailbox
+// (the nested post span is the sanctioned hop); unowned types are
+// free to travel.
+namespace fixture {
+
+// pinsim-lint: shard-owner(0)
+struct Balancer {
+  int outstanding = 0;
+  void add(int delta) { outstanding += delta; }
+};
+
+struct Meter {
+  int count = 0;
+  void bump() { ++count; }
+};
+
+struct Net {
+  template <typename Fn>
+  void post(int src, int dst, int delay, Fn&& fn);
+};
+
+struct Fleet {
+  Balancer balancer_;
+  Meter meter_;
+  Net net_;
+
+  void run() {
+    Balancer* lb = &balancer_;
+    Meter* meter = &meter_;
+    Net* net = &net_;
+    // Destination is the literal 0: the callback runs on shard 0.
+    net->post(3, 0, 1, [lb] { lb->add(1); });
+    // Cross-shard, but the owned touch happens inside a nested
+    // post-back to shard 0 — the sanctioned mailbox hop.
+    net->post(0, 3, 1, [net, lb, meter] {
+      meter->bump();
+      net->post(3, 0, 1, [lb] { lb->add(-1); });
+    });
+  }
+};
+
+}  // namespace fixture

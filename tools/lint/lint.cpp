@@ -1,204 +1,20 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "lexer.hpp"
+
 namespace pinsim::lint {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Lexer. Produces a flat token stream with line numbers; comments and
-// string/char literals are consumed (their contents never reach the
-// rule passes), preprocessor directives are collapsed into one token
-// per logical line. Suppression annotations found in comments are
-// collected into a per-line allow map as a side effect.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum Kind { kIdent, kPunct, kNumber, kLiteral, kDirective };
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct LexResult {
-  std::vector<Token> tokens;
-  /// line -> rules allowed on that line ("all" allows everything).
-  std::map<int, std::set<std::string>> allows;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Parse "pinsim-lint: allow(a, b)" out of a comment body and record
-/// the allowed rules for `line` (and `next_line` when the comment stood
-/// alone on its line — the annotation-above form).
-void record_allows(std::string_view comment, int line, bool whole_line,
-                   LexResult* out) {
-  const std::string_view marker = "pinsim-lint:";
-  const std::size_t at = comment.find(marker);
-  if (at == std::string_view::npos) return;
-  std::size_t i = comment.find("allow", at + marker.size());
-  if (i == std::string_view::npos) return;
-  i = comment.find('(', i);
-  if (i == std::string_view::npos) return;
-  const std::size_t close = comment.find(')', i);
-  if (close == std::string_view::npos) return;
-  std::string names(comment.substr(i + 1, close - i - 1));
-  std::replace(names.begin(), names.end(), ',', ' ');
-  std::istringstream split(names);
-  std::string rule;
-  while (split >> rule) {
-    out->allows[line].insert(rule);
-    if (whole_line) out->allows[line + 1].insert(rule);
-  }
-}
-
-LexResult lex(std::string_view src) {
-  LexResult out;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  int line = 1;
-  bool line_has_code = false;  // any token before this point on `line`
-
-  auto newline = [&] {
-    ++line;
-    line_has_code = false;
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      newline();
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      record_allows(src.substr(start, i - start), line, !line_has_code, &out);
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const int start_line = line;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') newline();
-        ++i;
-      }
-      i = (i + 1 < n) ? i + 2 : n;
-      record_allows(src.substr(start, i - start), start_line, !line_has_code,
-                    &out);
-      continue;
-    }
-    // Preprocessor directive: consume the logical line (with
-    // continuations) so include paths and macro bodies never leak into
-    // the token stream as ordinary tokens.
-    if (c == '#' && !line_has_code) {
-      std::string text;
-      const int start_line = line;
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          i += 2;
-          newline();
-          continue;
-        }
-        text += src[i++];
-      }
-      out.tokens.push_back(Token{Token::kDirective, text, start_line});
-      line_has_code = true;
-      continue;
-    }
-    line_has_code = true;
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && src[p] != '(') delim += src[p++];
-      const std::string closer = ")" + delim + "\"";
-      const std::size_t end = src.find(closer, p);
-      const std::size_t stop = end == std::string_view::npos
-                                   ? n
-                                   : end + closer.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (src[k] == '\n') newline();
-      }
-      out.tokens.push_back(Token{Token::kLiteral, "", line});
-      i = stop;
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') newline();  // unterminated; stay sane
-        ++i;
-      }
-      if (i < n) ++i;
-      out.tokens.push_back(Token{Token::kLiteral, "", line});
-      continue;
-    }
-    // Identifier.
-    if (ident_start(c)) {
-      const std::size_t start = i;
-      while (i < n && ident_char(src[i])) ++i;
-      out.tokens.push_back(
-          Token{Token::kIdent, std::string(src.substr(start, i - start)),
-                line});
-      continue;
-    }
-    // Number (digit separators, exponents, hex floats).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      const std::size_t start = i;
-      while (i < n && (ident_char(src[i]) || src[i] == '.' ||
-                       src[i] == '\'' ||
-                       ((src[i] == '+' || src[i] == '-') && i > start &&
-                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
-                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
-        ++i;
-      }
-      out.tokens.push_back(
-          Token{Token::kNumber, std::string(src.substr(start, i - start)),
-                line});
-      continue;
-    }
-    // Punctuation: '::' and '->' are folded into one token, everything
-    // else is a single character.
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.tokens.push_back(Token{Token::kPunct, "::", line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      out.tokens.push_back(Token{Token::kPunct, "->", line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back(Token{Token::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rule-pass helpers.
+// Rule-pass helpers. The lexer (and the allow/annotation side
+// channels) lives in lexer.{hpp,cpp}, shared with the cross-file index
+// in index.{hpp,cpp}.
 // ---------------------------------------------------------------------------
 
 class Checker {
@@ -842,6 +658,13 @@ Config default_config() {
   config.engine_api_exempt = {"src/sim/engine.hpp", "src/sim/engine.cpp"};
   config.predicate_purity_dirs = {"src/", "bench/", "examples/"};
   config.float_accumulation_dirs = {"src/", "bench/", "examples/"};
+  config.index_dirs = {"src/"};
+  config.hot_path_dirs = {"src/"};
+  config.quiet_funnel.funnel = "exit_quiet";
+  config.quiet_funnel.state_prefixes = {"quiet_", "charged_until_",
+                                        "slice_started_", "slice_length_"};
+  config.quiet_funnel.dirs = {"src/os/"};
+  config.shard_affinity_dirs = {"src/cluster/", "src/core/"};
   return config;
 }
 

@@ -39,6 +39,24 @@
 //                 at namespace scope in headers, no std::cout/printf
 //                 outside bench/, examples/, tools/ and the log sink.
 //
+// On top of the per-file passes, a second pass runs over a cross-file
+// symbol index (function definitions, an approximate call graph, and
+// per-symbol annotations read from `// pinsim-lint: hot` /
+// `shard-owner(0)` / `quiet-mutator` comments — see index.hpp):
+//
+//   shard-affinity
+//                 code reachable from a cross-shard mailbox post()
+//                 callback must not touch shard-0-owned symbols except
+//                 by posting back through the mailbox.
+//   hot-path      no allocation (`new`, make_unique/make_shared,
+//                 push_back into a never-reserved container),
+//                 std::function construction, or log-sink call
+//                 reachable from a function annotated hot.
+//   quiet-funnel  a function writing the kernel's quiet-window SoA
+//                 arrays must be the exit_quiet() funnel itself,
+//                 reachable only through it, or annotated as an
+//                 audited quiet-mutator.
+//
 // Which rules apply to a file is decided from its repo-relative path by
 // a Config (see default_config()), so the policy lives in one place and
 // tests can run fixture files "as if" they sat in src/os.
@@ -109,6 +127,32 @@ struct Config {
   /// nondeterministic bucket order make the reduction vary across
   /// runs even when every element is identical).
   std::vector<std::string> float_accumulation_dirs;
+
+  // --- cross-file (pass 2) policy -----------------------------------------
+
+  /// Directories whose files feed the cross-file symbol index. Every
+  /// file under these prefixes is summarized even when only a subset
+  /// of the tree is being analyzed, so reachability sees whole call
+  /// chains.
+  std::vector<std::string> index_dirs;
+
+  /// Directory prefixes where hot-path findings are reported (the
+  /// whole index is still traversed for reachability).
+  std::vector<std::string> hot_path_dirs;
+
+  /// Quiet-funnel policy: writers of the SoA arrays named by
+  /// `state_prefixes` in files under `dirs` must be `funnel` itself,
+  /// reachable only through it, or annotated `quiet-mutator`.
+  struct QuietFunnel {
+    std::string funnel;
+    std::vector<std::string> state_prefixes;
+    std::vector<std::string> dirs;
+  };
+  QuietFunnel quiet_funnel;
+
+  /// Directory prefixes whose member `post(...)` lambdas are treated
+  /// as cross-shard mailbox callbacks (shard-affinity roots).
+  std::vector<std::string> shard_affinity_dirs;
 };
 
 /// The policy shipped with the repo (matches the layout under src/).

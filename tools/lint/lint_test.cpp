@@ -337,5 +337,20 @@ TEST(LintInfra, DiagnosticsAreSortedByLine) {
   EXPECT_EQ(diags[1].line, 2);
 }
 
+TEST(LintInfra, ContinuedLineCommentIsCommentaryAndAllowsAttachPastIt) {
+  // Regression: a backslash-continued `//` comment used to leak its
+  // continuation line into the token stream (false findings), and a
+  // continued whole-line allow() attached to the continuation line
+  // instead of the first code line after it.
+  expect_markers("lexer_comment_continuation.cpp", "src/os/continued.cpp");
+}
+
+TEST(LintInfra, RawStringClosingLineCountsAsCode) {
+  // Regression: after a multi-line raw string, a trailing comment on
+  // the closing line was treated as whole-line, so its allow() leaked
+  // onto the next line and masked a real finding there.
+  expect_markers("lexer_rawstring_lines.cpp", "src/os/raw_lines.cpp");
+}
+
 }  // namespace
 }  // namespace pinsim::lint
